@@ -1,0 +1,107 @@
+// Command memsim runs one memory-system simulation: a synthetic benchmark
+// profile on the Table 3 baseline machine under a chosen access reordering
+// mechanism, printing the measurements the paper's evaluation reports.
+//
+// Usage:
+//
+//	memsim -bench swim -mech Burst_TH -n 1000000
+//	memsim -bench mcf -mech BkInOrder -mapping bit-reversal -row-policy cpa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"burstmem/internal/memctrl"
+	"burstmem/internal/sim"
+	"burstmem/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "swim", "benchmark profile (see -list)")
+		mech      = flag.String("mech", "Burst_TH", "mechanism: BkInOrder, RowHit, Intel, Intel_RP, Burst, Burst_RP, Burst_WP, Burst_TH[n]")
+		n         = flag.Uint64("n", 1_000_000, "instructions to simulate")
+		mapping   = flag.String("mapping", "page-interleave", "address mapping: page-interleave, line-interleave, bit-reversal, permutation")
+		rowPolicy = flag.String("row-policy", "op", "row policy: op (open page) or cpa (close page autoprecharge)")
+		list      = flag.Bool("list", false, "list benchmarks and mechanisms, then exit")
+		seed      = flag.Uint64("seed", 0, "override the profile's workload seed (0 = default)")
+		memfrac   = flag.Float64("memfrac", 0, "override the profile's memory fraction (0 = default)")
+		warmup    = flag.Uint64("warmup", 300_000, "warmup instructions")
+		traceFile = flag.String("trace", "", "replay a recorded trace file instead of a synthetic profile")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", workload.Names())
+		fmt.Println("mechanisms:", sim.MechanismNames())
+		return
+	}
+
+	prof, err := workload.ByName(*bench)
+	fatal(err)
+	if *seed != 0 {
+		prof.Seed = *seed
+	}
+	if *memfrac > 0 {
+		prof.MemFraction = *memfrac
+	}
+	factory, err := sim.MechanismByName(*mech)
+	fatal(err)
+
+	cfg := sim.DefaultConfig()
+	cfg.Instructions = *n
+	cfg.WarmupInstructions = *warmup
+	cfg.Mem.Mapping = *mapping
+	switch *rowPolicy {
+	case "op":
+		cfg.Mem.RowPolicy = memctrl.OpenPage
+	case "cpa":
+		cfg.Mem.RowPolicy = memctrl.ClosePageAuto
+	default:
+		fatal(fmt.Errorf("unknown row policy %q", *rowPolicy))
+	}
+
+	var res sim.Result
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		fatal(err)
+		gen, err := workload.ParseTrace(*traceFile, f)
+		f.Close()
+		fatal(err)
+		res, err = sim.RunGenerator(cfg, *traceFile, []workload.Generator{gen}, factory)
+		fatal(err)
+	} else {
+		res, err = sim.Run(cfg, prof, factory)
+		fatal(err)
+	}
+	printResult(res)
+}
+
+func printResult(r sim.Result) {
+	fmt.Printf("benchmark         %s\n", r.Benchmark)
+	fmt.Printf("mechanism         %s\n", r.Mechanism)
+	fmt.Printf("instructions      %d\n", r.Instructions)
+	fmt.Printf("cpu cycles        %d  (IPC %.3f)\n", r.CPUCycles, r.IPC)
+	fmt.Printf("memory cycles     %d\n", r.MemCycles)
+	fmt.Printf("mem reads/writes  %d / %d  (forwarded reads %d)\n", r.MemReads, r.MemWrites, r.ForwardedReads)
+	fmt.Printf("read latency      %.1f memory cycles (p50 %d, p95 %d, p99 %d)\n",
+		r.ReadLatency, r.ReadLatencyP50, r.ReadLatencyP95, r.ReadLatencyP99)
+	fmt.Printf("write latency     %.1f memory cycles\n", r.WriteLatency)
+	fmt.Printf("row outcomes      hit %.3f  empty %.3f  conflict %.3f\n", r.RowHit, r.RowEmpty, r.RowConflict)
+	fmt.Printf("bus utilization   data %.3f  address %.3f\n", r.DataBusUtil, r.AddrBusUtil)
+	fmt.Printf("write queue sat   %.3f of time\n", r.WriteSaturation)
+	fmt.Printf("bandwidth         %.2f GB/s\n", r.BandwidthGBps)
+	fmt.Printf("DRAM energy       %.1f nJ/access  (avg power %.2f W)\n", r.EnergyPerAccessNJ, r.AvgMemPowerW)
+	fmt.Printf("L1D miss rate     %.4f   L2 miss rate %.4f\n", r.L1DStats.MissRate(), r.L2Stats.MissRate())
+	fmt.Printf("cpu stalls        head-load %d  store-buf %d  rob-full %d\n",
+		r.CPUStats.HeadLoadStalls, r.CPUStats.StoreBufFullStalls, r.CPUStats.ROBFullCycles)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Latencybound: a pointer-chasing workload (mcf-like) where dependent
+// loads serialize, so execution time tracks raw read latency rather than
+// bandwidth. This is the regime where read preemption pays off: a newly
+// arrived critical read interrupts an ongoing write instead of waiting
+// behind it.
+//
+// The example contrasts each mechanism with and without read preemption
+// (Intel vs Intel_RP, Burst vs Burst_RP) and reports the latency of the
+// dependent-load chain.
+//
+//	go run ./examples/latencybound
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"burstmem"
+)
+
+func main() {
+	prof := burstmem.Profile{
+		Name:          "pointer-chase",
+		MemFraction:   0.34,
+		StoreFraction: 0.18,
+		ChaseWeight:   0.6, // dependent loads: each address from the last load
+		RandomWeight:  0.25,
+		LoopWeight:    0.15,
+		Streams:       1,
+		WorkingSet:    512 << 20,
+		Burstiness:    0.5,
+		Seed:          77,
+	}
+
+	cfg := burstmem.DefaultConfig()
+	cfg.WarmupInstructions = 80_000
+	cfg.Instructions = 150_000
+
+	type pair struct{ plain, rp string }
+	fmt.Printf("%-22s %12s %12s %10s\n", "mechanism (plain->RP)", "cycles", "read lat", "speedup")
+	for _, p := range []pair{{"Intel", "Intel_RP"}, {"Burst", "Burst_RP"}} {
+		plain := run(cfg, prof, p.plain)
+		rp := run(cfg, prof, p.rp)
+		fmt.Printf("%-22s %5d->%-6d %5.1f->%-6.1f %9.1f%%\n",
+			p.plain+" -> "+p.rp,
+			plain.CPUCycles/1000, rp.CPUCycles/1000,
+			plain.ReadLatency, rp.ReadLatency,
+			(1-float64(rp.CPUCycles)/float64(plain.CPUCycles))*100)
+	}
+	fmt.Println("\n(cycles in thousands; paper Section 5.3: read preemption contributes most on")
+	fmt.Println("latency-bound benchmarks like mcf, parser, perlbmk and facerec)")
+}
+
+func run(cfg burstmem.Config, prof burstmem.Profile, mech string) burstmem.Result {
+	f, err := burstmem.MechanismByName(mech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := burstmem.Run(cfg, prof, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,49 @@
+// Quickstart: simulate one benchmark under the conventional in-order
+// scheduler and under burst scheduling with the paper's threshold, and
+// print the headline comparison (execution time, read latency, row hit
+// rate, bus utilization).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"burstmem"
+)
+
+func main() {
+	cfg := burstmem.DefaultConfig()
+	cfg.WarmupInstructions = 100_000
+	cfg.Instructions = 200_000
+
+	prof, err := burstmem.BenchmarkByName("swim")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results := make(map[string]burstmem.Result)
+	for _, name := range []string{"BkInOrder", "Burst_TH"} {
+		mech, err := burstmem.MechanismByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := burstmem.Run(cfg, prof, mech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[name] = res
+		fmt.Printf("%-10s  IPC %.3f  read latency %5.1f cycles  row hits %4.1f%%  data bus %4.1f%%\n",
+			name, res.IPC, res.ReadLatency, res.RowHit*100, res.DataBusUtil*100)
+	}
+
+	base := results["BkInOrder"]
+	burst := results["Burst_TH"]
+	fmt.Printf("\nburst scheduling (threshold %d) runs %s %.1f%% faster than bank in-order\n",
+		burstmem.BestThreshold, prof.Name,
+		(1-float64(burst.CPUCycles)/float64(base.CPUCycles))*100)
+	fmt.Printf("read latency reduced %.1f%%, effective bandwidth %.2f -> %.2f GB/s\n",
+		(1-burst.ReadLatency/base.ReadLatency)*100,
+		base.BandwidthGBps, burst.BandwidthGBps)
+}

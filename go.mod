@@ -1,0 +1,3 @@
+module burstmem
+
+go 1.22

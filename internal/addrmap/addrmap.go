@@ -1,0 +1,341 @@
+// Package addrmap implements SDRAM address mapping: the translation of flat
+// physical addresses into DRAM coordinates (channel, rank, bank, row,
+// column).
+//
+// The mapping determines how much row locality and bank parallelism a given
+// access stream exposes to the memory controller, so the paper's baseline
+// (page interleaving, Table 3) and several alternatives from its related
+// work (cache-line interleaving, bit reversal [Shao & Davis, SCOPES'05],
+// permutation-based interleaving [Zhang et al., MICRO'00]) are provided.
+//
+// All mappers are exact bijections between the physical address space and
+// the coordinate space; Encode is the inverse of Decode.
+package addrmap
+
+import "fmt"
+
+// Loc is a fully decoded DRAM coordinate. Col is in units of cache lines
+// (one column access transfers one line).
+type Loc struct {
+	Channel uint8
+	Rank    uint8
+	Bank    uint8
+	Row     uint32
+	Col     uint32
+}
+
+// String renders the coordinate for debugging and traces.
+func (l Loc) String() string {
+	return fmt.Sprintf("ch%d/rk%d/bk%d/row%d/col%d", l.Channel, l.Rank, l.Bank, l.Row, l.Col)
+}
+
+// Geometry describes the memory organization. The paper's baseline (Table 3)
+// is 4 GB DDR2: 2 channels x 4 ranks x 4 banks, 8 KB rows, 64 B lines.
+type Geometry struct {
+	Channels    int // independent channels with private busses
+	Ranks       int // ranks per channel
+	Banks       int // banks per rank
+	Rows        int // rows per bank
+	ColumnLines int // cache lines per row
+	LineBytes   int // bytes per cache line / column access
+}
+
+// DefaultGeometry returns the paper's Table 3 organization: 4 GB total,
+// 2 channels, 4 ranks/channel, 4 banks/rank (32 banks), 8 KB rows, 64 B
+// lines => 16384 rows per bank.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:    2,
+		Ranks:       4,
+		Banks:       4,
+		Rows:        16384,
+		ColumnLines: 128,
+		LineBytes:   64,
+	}
+}
+
+// TotalBytes returns the capacity described by the geometry.
+func (g Geometry) TotalBytes() uint64 {
+	return uint64(g.Channels) * uint64(g.Ranks) * uint64(g.Banks) *
+		uint64(g.Rows) * uint64(g.ColumnLines) * uint64(g.LineBytes)
+}
+
+// TotalBanks returns the number of independently schedulable banks.
+func (g Geometry) TotalBanks() int { return g.Channels * g.Ranks * g.Banks }
+
+// RowBytes returns the size of one DRAM row (page).
+func (g Geometry) RowBytes() int { return g.ColumnLines * g.LineBytes }
+
+// Validate reports an error when any field is not a positive power of two.
+func (g Geometry) Validate() error {
+	check := func(name string, v int) error {
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf("addrmap: %s must be a positive power of two, got %d", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", g.Channels}, {"Ranks", g.Ranks}, {"Banks", g.Banks},
+		{"Rows", g.Rows}, {"ColumnLines", g.ColumnLines}, {"LineBytes", g.LineBytes},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mapper translates between physical addresses and DRAM coordinates.
+type Mapper interface {
+	Name() string
+	Geometry() Geometry
+	// Decode maps a physical byte address to its DRAM coordinate. The
+	// low line-offset bits are ignored.
+	Decode(addr uint64) Loc
+	// Encode is the exact inverse of Decode (line-aligned).
+	Encode(loc Loc) uint64
+}
+
+func log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// bits extracts width bits of addr starting at offset.
+func bits(addr uint64, offset, width uint) uint64 {
+	return (addr >> offset) & ((1 << width) - 1)
+}
+
+// fieldWidths caches the per-field bit widths of a geometry.
+type fieldWidths struct {
+	off, col, ch, bank, rank, row uint
+	g                             Geometry
+}
+
+func widthsOf(g Geometry) fieldWidths {
+	return fieldWidths{
+		off:  log2(g.LineBytes),
+		col:  log2(g.ColumnLines),
+		ch:   log2(g.Channels),
+		bank: log2(g.Banks),
+		rank: log2(g.Ranks),
+		row:  log2(g.Rows),
+		g:    g,
+	}
+}
+
+// PageInterleave is the paper's baseline mapping (Table 3). Bit layout, low
+// to high: [line offset][column][channel][bank][rank][row]. Consecutive
+// addresses stay within one DRAM row (maximizing open-page hits for
+// sequential streams) and consecutive rows spread over channels, banks and
+// ranks.
+type PageInterleave struct{ w fieldWidths }
+
+// NewPageInterleave builds the baseline mapper for the given geometry.
+func NewPageInterleave(g Geometry) *PageInterleave {
+	return &PageInterleave{w: widthsOf(g)}
+}
+
+// Name implements Mapper.
+func (m *PageInterleave) Name() string { return "page-interleave" }
+
+// Geometry implements Mapper.
+func (m *PageInterleave) Geometry() Geometry { return m.w.g }
+
+// Decode implements Mapper.
+func (m *PageInterleave) Decode(addr uint64) Loc {
+	w := m.w
+	p := w.off
+	col := bits(addr, p, w.col)
+	p += w.col
+	ch := bits(addr, p, w.ch)
+	p += w.ch
+	bank := bits(addr, p, w.bank)
+	p += w.bank
+	rank := bits(addr, p, w.rank)
+	p += w.rank
+	row := bits(addr, p, w.row)
+	return Loc{Channel: uint8(ch), Rank: uint8(rank), Bank: uint8(bank), Row: uint32(row), Col: uint32(col)}
+}
+
+// Encode implements Mapper.
+func (m *PageInterleave) Encode(l Loc) uint64 {
+	w := m.w
+	addr := uint64(l.Col)
+	p := w.col
+	addr |= uint64(l.Channel) << p
+	p += w.ch
+	addr |= uint64(l.Bank) << p
+	p += w.bank
+	addr |= uint64(l.Rank) << p
+	p += w.rank
+	addr |= uint64(l.Row) << p
+	return addr << w.off
+}
+
+// LineInterleave spreads consecutive cache lines across channels and banks:
+// [line offset][channel][bank][rank][column][row]. It maximizes bank
+// parallelism for streams at the cost of row locality.
+type LineInterleave struct{ w fieldWidths }
+
+// NewLineInterleave builds a cache-line-interleaved mapper.
+func NewLineInterleave(g Geometry) *LineInterleave {
+	return &LineInterleave{w: widthsOf(g)}
+}
+
+// Name implements Mapper.
+func (m *LineInterleave) Name() string { return "line-interleave" }
+
+// Geometry implements Mapper.
+func (m *LineInterleave) Geometry() Geometry { return m.w.g }
+
+// Decode implements Mapper.
+func (m *LineInterleave) Decode(addr uint64) Loc {
+	w := m.w
+	p := w.off
+	ch := bits(addr, p, w.ch)
+	p += w.ch
+	bank := bits(addr, p, w.bank)
+	p += w.bank
+	rank := bits(addr, p, w.rank)
+	p += w.rank
+	col := bits(addr, p, w.col)
+	p += w.col
+	row := bits(addr, p, w.row)
+	return Loc{Channel: uint8(ch), Rank: uint8(rank), Bank: uint8(bank), Row: uint32(row), Col: uint32(col)}
+}
+
+// Encode implements Mapper.
+func (m *LineInterleave) Encode(l Loc) uint64 {
+	w := m.w
+	addr := uint64(l.Channel)
+	p := w.ch
+	addr |= uint64(l.Bank) << p
+	p += w.bank
+	addr |= uint64(l.Rank) << p
+	p += w.rank
+	addr |= uint64(l.Col) << p
+	p += w.col
+	addr |= uint64(l.Row) << p
+	return addr << w.off
+}
+
+// BitReversal implements the bit-reversal mapping of Shao & Davis
+// (SCOPES'05): the bits above the column field are reversed before the
+// page-interleave field split, so addresses that differ in high-order bits
+// (distinct data structures) land in different banks while sequential pages
+// also rotate through banks.
+type BitReversal struct {
+	w     fieldWidths
+	upper uint // number of bits above the column field that get reversed
+}
+
+// NewBitReversal builds a bit-reversal mapper.
+func NewBitReversal(g Geometry) *BitReversal {
+	w := widthsOf(g)
+	return &BitReversal{w: w, upper: w.ch + w.bank + w.rank + w.row}
+}
+
+// Name implements Mapper.
+func (m *BitReversal) Name() string { return "bit-reversal" }
+
+// Geometry implements Mapper.
+func (m *BitReversal) Geometry() Geometry { return m.w.g }
+
+func reverseBits(v uint64, width uint) uint64 {
+	var r uint64
+	for i := uint(0); i < width; i++ {
+		r = r<<1 | (v>>i)&1
+	}
+	return r
+}
+
+// Decode implements Mapper.
+func (m *BitReversal) Decode(addr uint64) Loc {
+	w := m.w
+	col := bits(addr, w.off, w.col)
+	hi := reverseBits(bits(addr, w.off+w.col, m.upper), m.upper)
+	p := uint(0)
+	ch := bits(hi, p, w.ch)
+	p += w.ch
+	bank := bits(hi, p, w.bank)
+	p += w.bank
+	rank := bits(hi, p, w.rank)
+	p += w.rank
+	row := bits(hi, p, w.row)
+	return Loc{Channel: uint8(ch), Rank: uint8(rank), Bank: uint8(bank), Row: uint32(row), Col: uint32(col)}
+}
+
+// Encode implements Mapper.
+func (m *BitReversal) Encode(l Loc) uint64 {
+	w := m.w
+	hi := uint64(l.Channel)
+	p := w.ch
+	hi |= uint64(l.Bank) << p
+	p += w.bank
+	hi |= uint64(l.Rank) << p
+	p += w.rank
+	hi |= uint64(l.Row) << p
+	addr := reverseBits(hi, m.upper)<<w.col | uint64(l.Col)
+	return addr << w.off
+}
+
+// Permutation implements the permutation-based page interleaving of Zhang,
+// Zhu & Zhang (MICRO'00): the bank index of the page-interleave layout is
+// XORed with the low bits of the row index, so rows that would conflict in
+// one bank are spread across banks while row locality is preserved.
+type Permutation struct{ w fieldWidths }
+
+// NewPermutation builds a permutation-based mapper.
+func NewPermutation(g Geometry) *Permutation {
+	return &Permutation{w: widthsOf(g)}
+}
+
+// Name implements Mapper.
+func (m *Permutation) Name() string { return "permutation" }
+
+// Geometry implements Mapper.
+func (m *Permutation) Geometry() Geometry { return m.w.g }
+
+// Decode implements Mapper.
+func (m *Permutation) Decode(addr uint64) Loc {
+	base := NewPageInterleave(m.w.g).Decode(addr)
+	mask := uint32(m.w.g.Banks - 1)
+	base.Bank = uint8(uint32(base.Bank) ^ (base.Row & mask))
+	return base
+}
+
+// Encode implements Mapper.
+func (m *Permutation) Encode(l Loc) uint64 {
+	mask := uint32(m.w.g.Banks - 1)
+	l.Bank = uint8(uint32(l.Bank) ^ (l.Row & mask))
+	return NewPageInterleave(m.w.g).Encode(l)
+}
+
+// ByName returns the named mapper for a geometry. Valid names:
+// page-interleave, line-interleave, bit-reversal, permutation.
+func ByName(name string, g Geometry) (Mapper, error) {
+	switch name {
+	case "page-interleave", "page", "":
+		return NewPageInterleave(g), nil
+	case "line-interleave", "line":
+		return NewLineInterleave(g), nil
+	case "bit-reversal", "bitrev":
+		return NewBitReversal(g), nil
+	case "permutation", "perm":
+		return NewPermutation(g), nil
+	}
+	return nil, fmt.Errorf("addrmap: unknown mapping %q", name)
+}
+
+// Names lists the available mapping names.
+func Names() []string {
+	return []string{"page-interleave", "line-interleave", "bit-reversal", "permutation"}
+}

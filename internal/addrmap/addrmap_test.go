@@ -1,0 +1,194 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.TotalBytes(), uint64(4)<<30; got != want {
+		t.Fatalf("capacity = %d, want 4 GB (Table 3)", got)
+	}
+	if got := g.TotalBanks(); got != 32 {
+		t.Fatalf("banks = %d, want 32 (Table 3: 2/4/4)", got)
+	}
+	if got := g.RowBytes(); got != 8192 {
+		t.Fatalf("row = %d bytes, want 8 KB", got)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	g := DefaultGeometry()
+	g.Banks = 3
+	if err := g.Validate(); err == nil {
+		t.Fatal("non-power-of-two banks accepted")
+	}
+	g = DefaultGeometry()
+	g.Channels = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+}
+
+func allMappers(g Geometry) []Mapper {
+	return []Mapper{
+		NewPageInterleave(g),
+		NewLineInterleave(g),
+		NewBitReversal(g),
+		NewPermutation(g),
+	}
+}
+
+// TestRoundTrip checks Encode(Decode(a)) == a (line aligned) for every
+// mapper, by property-based testing over random addresses.
+func TestRoundTrip(t *testing.T) {
+	g := DefaultGeometry()
+	mask := g.TotalBytes() - 1
+	lineMask := ^uint64(g.LineBytes - 1)
+	for _, m := range allMappers(g) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(raw uint64) bool {
+				addr := raw & mask & lineMask
+				return m.Encode(m.Decode(addr)) == addr
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDecodeInRange checks decoded coordinates stay inside the geometry.
+func TestDecodeInRange(t *testing.T) {
+	g := DefaultGeometry()
+	mask := g.TotalBytes() - 1
+	for _, m := range allMappers(g) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(raw uint64) bool {
+				l := m.Decode(raw & mask)
+				return int(l.Channel) < g.Channels &&
+					int(l.Rank) < g.Ranks &&
+					int(l.Bank) < g.Banks &&
+					int(l.Row) < g.Rows &&
+					int(l.Col) < g.ColumnLines
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBijection verifies distinct line addresses decode to distinct
+// coordinates over a dense window (no aliasing).
+func TestBijection(t *testing.T) {
+	g := Geometry{Channels: 2, Ranks: 2, Banks: 4, Rows: 8, ColumnLines: 4, LineBytes: 64}
+	for _, m := range allMappers(g) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			seen := make(map[Loc]uint64)
+			for a := uint64(0); a < g.TotalBytes(); a += uint64(g.LineBytes) {
+				l := m.Decode(a)
+				if prev, dup := seen[l]; dup {
+					t.Fatalf("addresses %#x and %#x both map to %v", prev, a, l)
+				}
+				seen[l] = a
+			}
+		})
+	}
+}
+
+// TestPageInterleaveLocality: consecutive lines stay in the same row until
+// the row boundary, then move to another channel/bank (open-page friendly).
+func TestPageInterleaveLocality(t *testing.T) {
+	g := DefaultGeometry()
+	m := NewPageInterleave(g)
+	base := m.Decode(0)
+	for i := 1; i < g.ColumnLines; i++ {
+		l := m.Decode(uint64(i * g.LineBytes))
+		if l.Row != base.Row || l.Bank != base.Bank || l.Rank != base.Rank || l.Channel != base.Channel {
+			t.Fatalf("line %d left the row: %v vs %v", i, l, base)
+		}
+		if l.Col != uint32(i) {
+			t.Fatalf("line %d col = %d", i, l.Col)
+		}
+	}
+	next := m.Decode(uint64(g.RowBytes()))
+	if next.Channel == base.Channel && next.Bank == base.Bank && next.Rank == base.Rank && next.Row == base.Row {
+		t.Fatal("next page did not move to a different bank/channel")
+	}
+}
+
+// TestLineInterleaveParallelism: consecutive lines alternate channels.
+func TestLineInterleaveParallelism(t *testing.T) {
+	g := DefaultGeometry()
+	m := NewLineInterleave(g)
+	a := m.Decode(0)
+	b := m.Decode(uint64(g.LineBytes))
+	if a.Channel == b.Channel {
+		t.Fatal("consecutive lines did not alternate channels")
+	}
+}
+
+// TestPermutationSpreadsConflicts: addresses that differ only in low row
+// bits (same bank under page interleave) land in different banks.
+func TestPermutationSpreadsConflicts(t *testing.T) {
+	g := DefaultGeometry()
+	pi := NewPageInterleave(g)
+	pm := NewPermutation(g)
+	loc := Loc{Channel: 0, Rank: 0, Bank: 0, Row: 0, Col: 0}
+	a0 := pi.Encode(loc)
+	loc.Row = 1
+	a1 := pi.Encode(loc)
+	if pi.Decode(a0).Bank != pi.Decode(a1).Bank {
+		t.Fatal("setup: page interleave should map both rows to one bank")
+	}
+	if pm.Decode(a0).Bank == pm.Decode(a1).Bank {
+		t.Fatal("permutation mapping did not spread conflicting rows")
+	}
+}
+
+// TestBitReversalSpreadsHighBits: addresses differing only in the top bit
+// (e.g. two large data structures) use different banks under bit reversal.
+func TestBitReversalSpreadsHighBits(t *testing.T) {
+	g := DefaultGeometry()
+	br := NewBitReversal(g)
+	half := g.TotalBytes() / 2
+	a := br.Decode(0)
+	b := br.Decode(half)
+	if a.Channel == b.Channel && a.Rank == b.Rank && a.Bank == b.Bank {
+		t.Fatalf("high-bit-separated addresses share a bank: %v vs %v", a, b)
+	}
+}
+
+func TestByName(t *testing.T) {
+	g := DefaultGeometry()
+	for _, name := range Names() {
+		m, err := ByName(name, g)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if m, err := ByName("", g); err != nil || m.Name() != "page-interleave" {
+		t.Fatalf("empty name should default to page interleaving, got %v, %v", m, err)
+	}
+	if _, err := ByName("nope", g); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestLocString(t *testing.T) {
+	l := Loc{Channel: 1, Rank: 2, Bank: 3, Row: 4, Col: 5}
+	if got, want := l.String(), "ch1/rk2/bk3/row4/col5"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,176 @@
+// Package bus models the front-side bus of the baseline machine (paper
+// Table 3): 64-bit, 800 MHz DDR, connecting the L2 cache to the memory
+// controller. It adapts the cache hierarchy's Backend interface onto
+// memctrl.Controller, crossing from the CPU clock domain into the memory
+// clock domain.
+//
+// The model charges a fixed flight latency each way plus bus occupancy:
+// a read request occupies one address-bus slot, while transfers that carry
+// a 64-byte line (write requests, read responses) occupy the data path for
+// DataCycles memory cycles (4 at PC2-6400 rates, matching the DRAM data
+// bus bandwidth). Controller pool rejections hold requests at the head of
+// the FSB queue, propagating back-pressure up the hierarchy.
+package bus
+
+import (
+	"fmt"
+
+	"burstmem/internal/memctrl"
+)
+
+// Config describes the FSB.
+type Config struct {
+	// ReqLatency and RespLatency are flight times in memory cycles.
+	ReqLatency  int
+	RespLatency int
+	// DataCycles is the occupancy of one cache-line transfer.
+	DataCycles int
+	// QueueDepth bounds requests accepted from the L2 but not yet handed
+	// to the controller.
+	QueueDepth int
+}
+
+// DefaultConfig returns an 800 MHz DDR 64-bit FSB: 64 B / (16 B per memory
+// cycle) = 4 cycles of occupancy, 2 cycles of flight each way.
+func DefaultConfig() Config {
+	return Config{ReqLatency: 2, RespLatency: 2, DataCycles: 4, QueueDepth: 32}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ReqLatency < 0 || c.RespLatency < 0 {
+		return fmt.Errorf("bus: negative latency")
+	}
+	if c.DataCycles < 1 {
+		return fmt.Errorf("bus: DataCycles must be >= 1, got %d", c.DataCycles)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("bus: QueueDepth must be >= 1, got %d", c.QueueDepth)
+	}
+	return nil
+}
+
+// Stats counts FSB activity.
+type Stats struct {
+	Reads         uint64
+	Writes        uint64
+	Rejected      uint64 // requests refused at the L2 interface (queue full)
+	PoolStalled   uint64 // cycles the head request waited for controller pool space
+	ReqBusyCycles uint64
+}
+
+type request struct {
+	kind    memctrl.Kind
+	addr    uint64
+	readyAt uint64 // flight time elapsed
+	done    func()
+}
+
+type response struct {
+	at   uint64
+	done func()
+}
+
+// FSB is the front-side bus instance. It implements cache.Backend.
+type FSB struct {
+	cfg  Config
+	ctrl *memctrl.Controller
+
+	reqQ  []request
+	respQ []response
+
+	memNow      uint64
+	nextReqFree uint64
+
+	Stats Stats
+}
+
+// New builds an FSB in front of a controller.
+func New(cfg Config, ctrl *memctrl.Controller) (*FSB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FSB{cfg: cfg, ctrl: ctrl}, nil
+}
+
+// ReadLine implements cache.Backend: an L2 miss requesting a line from
+// main memory.
+func (f *FSB) ReadLine(addr uint64, done func()) bool {
+	return f.enqueue(memctrl.KindRead, addr, done)
+}
+
+// WriteLine implements cache.Backend: an L2 dirty writeback.
+func (f *FSB) WriteLine(addr uint64) bool {
+	return f.enqueue(memctrl.KindWrite, addr, nil)
+}
+
+func (f *FSB) enqueue(kind memctrl.Kind, addr uint64, done func()) bool {
+	if len(f.reqQ) >= f.cfg.QueueDepth {
+		f.Stats.Rejected++
+		return false
+	}
+	occupancy := uint64(1)
+	if kind == memctrl.KindWrite {
+		occupancy = uint64(f.cfg.DataCycles) // writes carry the line
+	}
+	start := f.memNow
+	if start < f.nextReqFree {
+		start = f.nextReqFree
+	}
+	f.nextReqFree = start + occupancy
+	f.Stats.ReqBusyCycles += occupancy
+	f.reqQ = append(f.reqQ, request{
+		kind:    kind,
+		addr:    addr,
+		readyAt: start + uint64(f.cfg.ReqLatency),
+		done:    done,
+	})
+	if kind == memctrl.KindRead {
+		f.Stats.Reads++
+	} else {
+		f.Stats.Writes++
+	}
+	return true
+}
+
+// Tick advances the FSB to the given memory cycle: deliver responses, then
+// hand arrived requests to the controller (in order; a pool rejection
+// blocks the head).
+func (f *FSB) Tick(memNow uint64) {
+	f.memNow = memNow
+	for len(f.respQ) > 0 && f.respQ[0].at <= memNow {
+		done := f.respQ[0].done
+		f.respQ = f.respQ[1:]
+		if done != nil {
+			done()
+		}
+	}
+	for len(f.reqQ) > 0 && f.reqQ[0].readyAt <= memNow {
+		r := f.reqQ[0]
+		if !f.ctrl.CanAccept(r.kind) {
+			f.Stats.PoolStalled++
+			return
+		}
+		done := r.done
+		_, ok := f.ctrl.Submit(r.kind, r.addr, func(a *memctrl.Access, at uint64) {
+			if done == nil {
+				return
+			}
+			// Response flight back to the L2. Completion times from
+			// the controller are nondecreasing within a run, so the
+			// response queue stays sorted.
+			f.respQ = append(f.respQ, response{at: at + uint64(f.cfg.RespLatency), done: done})
+		})
+		if !ok {
+			f.Stats.PoolStalled++
+			return
+		}
+		f.reqQ = f.reqQ[1:]
+	}
+}
+
+// Busy reports in-flight FSB work.
+func (f *FSB) Busy() bool { return len(f.reqQ) > 0 || len(f.respQ) > 0 }
+
+// ResetStats zeroes the statistics counters.
+func (f *FSB) ResetStats() { f.Stats = Stats{} }

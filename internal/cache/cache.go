@@ -1,0 +1,420 @@
+// Package cache implements the set-associative, write-back, write-allocate
+// caches of the baseline machine (paper Table 3): 128 KB 2-way L1 I/D and a
+// 2 MB 16-way L2, all with 64-byte lines, plus MSHRs with miss coalescing
+// and a bounded dirty-writeback path.
+//
+// Caches are levels in a chain: each cache's backend is the next level
+// (another cache, or the front-side-bus adapter to the memory controller).
+// All interactions are non-blocking with explicit back-pressure: an access
+// or writeback that cannot proceed returns a "blocked" result and the
+// caller retries — which is precisely the path by which a saturated memory
+// write queue stalls the CPU pipeline (paper Section 5.1).
+package cache
+
+import (
+	"fmt"
+)
+
+// Backend is the next level below a cache.
+type Backend interface {
+	// ReadLine requests a line fill. done runs when data arrives. A
+	// false return means the backend cannot accept the request this
+	// cycle (retry later).
+	ReadLine(addr uint64, done func()) bool
+	// WriteLine hands a dirty line down (writeback). A false return
+	// means the backend is full (retry later).
+	WriteLine(addr uint64) bool
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// MSHRs bounds outstanding misses (distinct lines).
+	MSHRs int
+	// WritebackBuf bounds queued dirty evictions awaiting the backend.
+	// When full, fills (and therefore new misses) are blocked.
+	WritebackBuf int
+	// LatencyCycles is the hit/service latency in this cache's clock
+	// domain, charged when this cache serves a request from the level
+	// above.
+	LatencyCycles int
+	// WarmStart models a steady-state cache in finite simulations: a
+	// fill that would land in a never-used way instead evicts a
+	// synthesized resident line (same set, different tag), dirty with
+	// probability WarmDirtyPercent/100. Large caches thus emit writeback
+	// traffic from the first miss, as they would after billions of
+	// warmup instructions, instead of only after the whole capacity has
+	// been touched.
+	WarmStart bool
+	// WarmDirtyPercent is the dirty share of synthesized warm residents
+	// (0..100). Callers should set it near the workload's store share.
+	WarmDirtyPercent int
+}
+
+// L1Config returns the Table 3 L1 configuration (128 KB, 2-way, 64 B).
+func L1Config(name string) Config {
+	return Config{Name: name, SizeBytes: 128 << 10, Ways: 2, LineBytes: 64,
+		MSHRs: 32, WritebackBuf: 8, LatencyCycles: 3}
+}
+
+// L2Config returns the Table 3 L2 configuration (2 MB, 16-way, 64 B).
+func L2Config() Config {
+	return Config{Name: "L2", SizeBytes: 2 << 20, Ways: 16, LineBytes: 64,
+		MSHRs: 40, WritebackBuf: 16, LatencyCycles: 12, WarmStart: true, WarmDirtyPercent: 30}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: size/ways/line must be positive", c.Name)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache %s: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets not a power of two", c.Name, sets)
+	}
+	if c.MSHRs <= 0 || c.WritebackBuf <= 0 {
+		return fmt.Errorf("cache %s: MSHRs and writeback buffer must be positive", c.Name)
+	}
+	if c.LatencyCycles < 0 {
+		return fmt.Errorf("cache %s: negative latency", c.Name)
+	}
+	if c.WarmDirtyPercent < 0 || c.WarmDirtyPercent > 100 {
+		return fmt.Errorf("cache %s: WarmDirtyPercent %d out of [0,100]", c.Name, c.WarmDirtyPercent)
+	}
+	return nil
+}
+
+// Result is the outcome of a cache access attempt.
+type Result int
+
+// Access outcomes. Hit completes at the cache's latency; Miss means a new
+// MSHR was allocated and a line fetch starts; MissMerged means the access
+// joined an MSHR whose fetch was already in flight (both fire the done
+// callback when the fill arrives); Blocked means nothing was done and the
+// caller must retry next cycle.
+const (
+	Hit Result = iota
+	Miss
+	MissMerged
+	Blocked
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case MissMerged:
+		return "miss-merged"
+	case Blocked:
+		return "blocked"
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// IsMiss reports whether the result is a (primary or merged) miss.
+func (r Result) IsMiss() bool { return r == Miss || r == MissMerged }
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64 // primary misses (MSHR allocations)
+	Coalesced  uint64 // secondary misses merged into an existing MSHR
+	Blocked    uint64 // accesses refused for MSHR/writeback pressure
+	Writebacks uint64
+	Evictions  uint64
+}
+
+// MissRate returns misses / (hits + misses).
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses + s.Coalesced
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses+s.Coalesced) / float64(t)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch tick
+}
+
+type mshr struct {
+	addr    uint64
+	isWrite bool // whether any merged request was a store (fill dirty)
+	waiters []func()
+	issued  bool // request accepted by the backend
+}
+
+// Cache is one cache level.
+type Cache struct {
+	cfg     Config
+	backend Backend
+
+	sets    [][]line
+	setMask uint64
+	offBits uint
+
+	mshrs map[uint64]*mshr
+	mshrQ []*mshr // MSHRs not yet issued to the backend
+	wbQ   []uint64
+	tick  uint64 // LRU touch counter
+
+	now    uint64     // cycle counter, advanced by Tick
+	delayQ []deferred // latency-deferred callbacks, FIFO (constant delay)
+
+	Stats Stats
+}
+
+// deferred is a callback scheduled for a future cycle.
+type deferred struct {
+	at uint64
+	fn func()
+}
+
+// deferResponse schedules fn after the cache's service latency. With a constant
+// delay the queue stays sorted, so a FIFO suffices.
+func (c *Cache) deferResponse(fn func()) {
+	if c.cfg.LatencyCycles == 0 {
+		fn()
+		return
+	}
+	c.delayQ = append(c.delayQ, deferred{at: c.now + uint64(c.cfg.LatencyCycles), fn: fn})
+}
+
+// New builds a cache over the given backend.
+func New(cfg Config, backend Backend) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	c := &Cache{
+		cfg:     cfg,
+		backend: backend,
+		sets:    make([][]line, sets),
+		setMask: uint64(sets - 1),
+		mshrs:   make(map[uint64]*mshr),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for v := cfg.LineBytes; v > 1; v >>= 1 {
+		c.offBits++
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// index returns the set and tag of an address. The tag is the full line
+// number (set bits included), which keeps reconstruction of victim
+// addresses trivial; equality implies same set regardless.
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr >> c.offBits
+	return lineAddr & c.setMask, lineAddr
+}
+
+func (c *Cache) lineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+// Access performs a load (isWrite=false) or store (isWrite=true) with
+// write-allocate semantics. On Miss, done fires when the fill completes.
+// done may be nil for callers that do not need notification.
+func (c *Cache) Access(addr uint64, isWrite bool, done func()) Result {
+	c.tick++
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			if isWrite {
+				ln.dirty = true
+			}
+			c.Stats.Hits++
+			return Hit
+		}
+	}
+	// Miss. Coalesce into an existing MSHR if one covers the line.
+	la := c.lineAddr(addr)
+	if m, ok := c.mshrs[la]; ok {
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		m.isWrite = m.isWrite || isWrite
+		c.Stats.Coalesced++
+		return MissMerged
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs || len(c.wbQ) >= c.cfg.WritebackBuf {
+		// No MSHR, or fills might have nowhere to push victims.
+		c.Stats.Blocked++
+		return Blocked
+	}
+	m := &mshr{addr: la, isWrite: isWrite}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	c.mshrs[la] = m
+	c.mshrQ = append(c.mshrQ, m)
+	c.Stats.Misses++
+	return Miss
+}
+
+// WouldAllocate reports whether an access to addr would start a new line
+// fetch (neither present nor already in flight). The CPU uses this to
+// charge LSQ slots only for distinct outstanding fetches.
+func (c *Cache) WouldAllocate(addr uint64) bool {
+	if c.Probe(addr) {
+		return false
+	}
+	_, inflight := c.mshrs[c.lineAddr(addr)]
+	return !inflight
+}
+
+// Probe reports whether the line is present without touching LRU state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances one cycle of the cache's clock domain: latency-deferred
+// responses fire, pending miss requests issue to the backend, and the
+// writeback queue drains.
+func (c *Cache) Tick() {
+	c.now++
+	for len(c.delayQ) > 0 && c.delayQ[0].at <= c.now {
+		fn := c.delayQ[0].fn
+		c.delayQ = c.delayQ[1:]
+		fn()
+	}
+	// Issue pending miss requests.
+	for len(c.mshrQ) > 0 {
+		m := c.mshrQ[0]
+		la := m.addr
+		if !c.backend.ReadLine(la, func() { c.fill(la) }) {
+			break
+		}
+		m.issued = true
+		c.mshrQ = c.mshrQ[1:]
+	}
+	// Drain writebacks.
+	for len(c.wbQ) > 0 {
+		if !c.backend.WriteLine(c.wbQ[0]) {
+			break
+		}
+		c.wbQ = c.wbQ[1:]
+		c.Stats.Writebacks++
+	}
+}
+
+// fill installs a returned line, evicting the LRU way (queueing the victim
+// if dirty), and wakes all coalesced waiters.
+func (c *Cache) fill(la uint64) {
+	m := c.mshrs[la]
+	delete(c.mshrs, la)
+	set, tag := c.index(la)
+	victim := 0
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if !ln.valid {
+			victim = i
+			break
+		}
+		if ln.lru < c.sets[set][victim].lru {
+			victim = i
+		}
+	}
+	v := &c.sets[set][victim]
+	if v.valid {
+		c.Stats.Evictions++
+		if v.dirty {
+			c.wbQ = append(c.wbQ, v.tag<<c.offBits)
+		}
+	} else if c.cfg.WarmStart {
+		// Synthesize the steady-state resident this way would hold: the
+		// line one cache-size away in the same set. A deterministic
+		// address hash decides dirtiness at the configured rate.
+		c.Stats.Evictions++
+		resident := (tag ^ uint64(len(c.sets)*c.cfg.Ways)) << c.offBits
+		if int((resident*0x9E3779B97F4A7C15)>>32%100) < c.cfg.WarmDirtyPercent {
+			c.wbQ = append(c.wbQ, resident)
+		}
+	}
+	c.tick++
+	*v = line{tag: tag, valid: true, dirty: m != nil && m.isWrite, lru: c.tick}
+	if m != nil {
+		for _, w := range m.waiters {
+			c.deferResponse(w)
+		}
+	}
+}
+
+// OutstandingMisses returns the number of allocated MSHRs.
+func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
+
+// PendingWritebacks returns queued dirty evictions.
+func (c *Cache) PendingWritebacks() int { return len(c.wbQ) }
+
+// ResetStats zeroes the statistics counters.
+func (c *Cache) ResetStats() { c.Stats = Stats{} }
+
+// Busy reports whether the cache still has in-flight work.
+func (c *Cache) Busy() bool {
+	return len(c.mshrs) > 0 || len(c.wbQ) > 0 || len(c.mshrQ) > 0 || len(c.delayQ) > 0
+}
+
+// AsBackend adapts this cache as the backend of an upper level: upper-level
+// fills become accesses here, upper-level writebacks become stores
+// (write-allocate, marking lines dirty so they eventually write back to
+// memory).
+func (c *Cache) AsBackend() Backend { return (*levelBackend)(c) }
+
+type levelBackend Cache
+
+// ReadLine implements Backend for an upper cache level. Hits respond after
+// this cache's service latency; misses respond after the fill returns plus
+// the latency.
+func (b *levelBackend) ReadLine(addr uint64, done func()) bool {
+	c := (*Cache)(b)
+	switch c.Access(addr, false, done) {
+	case Hit:
+		c.deferResponse(done)
+		return true
+	case Miss, MissMerged:
+		return true
+	default:
+		return false
+	}
+}
+
+// WriteLine implements Backend for an upper cache level.
+func (b *levelBackend) WriteLine(addr uint64) bool {
+	c := (*Cache)(b)
+	switch c.Access(addr, true, nil) {
+	case Hit, Miss, MissMerged:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,564 @@
+// Package core implements the paper's primary contribution: the burst
+// scheduling access reordering mechanism (Section 3).
+//
+// Burst scheduling is a two-level scheduler. At the access level, per-bank
+// arbiters cluster reads to the same row of the same bank into bursts and
+// decide when writes may run (never before reads, except when the write
+// queue fills, when piggybacking after a burst, or when there is nothing
+// else to do). At the transaction level, a global per-channel transaction
+// scheduler picks one unblocked SDRAM transaction per cycle using the
+// static priority of paper Table 2, which keeps row hits back to back on
+// the data bus while overlapping precharges and activates underneath.
+//
+// Two options are controlled by a static threshold on write-queue
+// occupancy (Section 3.2): read preemption below the threshold, write
+// piggybacking above it. The paper's Burst, Burst_RP, Burst_WP and
+// Burst_TH(52) variants are all configurations of the one mechanism here.
+package core
+
+import (
+	"fmt"
+
+	"burstmem/internal/dram"
+	"burstmem/internal/memctrl"
+)
+
+// Options selects a burst scheduling variant.
+type Options struct {
+	// ReadPreemption lets newly arrived reads interrupt an ongoing write
+	// whose column transaction has not issued yet (the write restarts
+	// later; correctness is unaffected).
+	ReadPreemption bool
+	// WritePiggyback appends qualified writes (same row) at the end of
+	// bursts to exploit write row locality and avoid write queue
+	// saturation.
+	WritePiggyback bool
+	// Threshold is the write-queue occupancy pivot: read preemption is
+	// enabled while occupancy < Threshold, write piggybacking while
+	// occupancy > Threshold. Only meaningful for the variant with both
+	// options enabled (Burst_TH).
+	Threshold int
+	// NaivePriority replaces the Table 2 transaction priority with plain
+	// oldest-first selection among unblocked transactions. It exists for
+	// the ablation study quantifying how much of burst scheduling's win
+	// comes from timing-aware transaction interleaving (the "bubble
+	// cycles" the paper attributes to best-effort mechanisms).
+	NaivePriority bool
+	// LargestBurstFirst changes inter-burst order within a bank from
+	// arrival order to largest-burst-first (the paper's Section 7 future
+	// work), with StarvationLimit as the aging guard the paper calls
+	// for: a burst whose first access has waited longer goes first
+	// regardless of size.
+	LargestBurstFirst bool
+	// StarvationLimit is the age, in memory cycles, at which the oldest
+	// burst overrides size order (0 picks a default).
+	StarvationLimit uint64
+}
+
+// defaultStarvationLimit bounds how long a small burst can be bypassed by
+// larger ones under LargestBurstFirst.
+const defaultStarvationLimit = 2000
+
+// Variant name constants as used in the paper's Table 4.
+const (
+	NameBurst   = "Burst"
+	NameBurstRP = "Burst_RP"
+	NameBurstWP = "Burst_WP"
+	NameBurstTH = "Burst_TH"
+)
+
+// Burst returns a factory for plain burst scheduling: bursts plus the
+// Table 2 transaction priority, no read preemption, no write piggybacking.
+func Burst() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism {
+		return newBurst(h, NameBurst, Options{})
+	}
+}
+
+// BurstRP returns burst scheduling with read preemption (equivalent to a
+// threshold of the full write-queue size; paper Section 5.4).
+func BurstRP() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism {
+		return newBurst(h, NameBurstRP, Options{
+			ReadPreemption: true,
+			Threshold:      h.Config().MaxWrites,
+		})
+	}
+}
+
+// BurstWP returns burst scheduling with write piggybacking (equivalent to a
+// threshold of zero).
+func BurstWP() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism {
+		return newBurst(h, NameBurstWP, Options{WritePiggyback: true, Threshold: 0})
+	}
+}
+
+// BurstNaive returns the ablation variant: burst clustering and arbiters
+// intact, but transactions selected oldest-first instead of by the Table 2
+// priority.
+func BurstNaive() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism {
+		return newBurst(h, "Burst_Naive", Options{NaivePriority: true})
+	}
+}
+
+// BurstSized returns the Section 7 inter-burst variant: Burst_TH(52) with
+// largest-burst-first ordering inside banks (aging-guarded).
+func BurstSized() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism {
+		return newBurst(h, "Burst_SZ", Options{
+			ReadPreemption:    true,
+			WritePiggyback:    true,
+			Threshold:         52,
+			LargestBurstFirst: true,
+		})
+	}
+}
+
+// BurstTH returns burst scheduling with both options switched by the static
+// threshold. The paper's experimentally determined best value is 52 (of a
+// 64-entry write queue).
+func BurstTH(threshold int) memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism {
+		return newBurst(h, fmt.Sprintf("%s%d", NameBurstTH, threshold), Options{
+			ReadPreemption: true,
+			WritePiggyback: true,
+			Threshold:      threshold,
+		})
+	}
+}
+
+// burstGroup is a cluster of reads to one row of one bank. All accesses
+// after the first are guaranteed row hits.
+type burstGroup struct {
+	row     uint32
+	arrival uint64 // arrival of the first access, for inter-burst ordering
+	reads   []*memctrl.Access
+}
+
+// bankState holds one bank's queues and piggyback context.
+type bankState struct {
+	bursts []*burstGroup     // FIFO by first-access arrival
+	writes []*memctrl.Access // FIFO by arrival
+
+	// endOfBurst marks the piggyback window: the last column issued on
+	// this bank finished a burst (or was itself a piggybacked write) to
+	// lastRow.
+	endOfBurst bool
+	lastRow    uint32
+
+	// activeRow is the row of the burst currently draining (-1 when
+	// none): inter-burst reordering never switches away from a
+	// partially drained burst, preserving its back-to-back row hits.
+	activeRow int64
+
+	// ongoingIsWrite / ongoingPiggyback describe the installed ongoing
+	// access so preemption and end-of-burst bookkeeping can tell reads,
+	// forced writes and piggybacked writes apart.
+	ongoingIsWrite   bool
+	ongoingPiggyback bool
+
+	// preemptPending is set when a read ARRIVES while a write is ongoing
+	// (paper Section 3.2: "read preemption allows a newly arrived read
+	// to interrupt an ongoing write"); the arbiter acts on it next
+	// cycle. Queued reads never retro-preempt, which avoids thrashing
+	// forced writes near write-queue saturation.
+	preemptPending bool
+}
+
+// burstSched is the mechanism instance for one channel.
+type burstSched struct {
+	name   string
+	opt    Options
+	host   *memctrl.Host
+	engine *memctrl.Engine
+
+	banks [][]*bankState // [rank][bank]
+
+	pendingReads  int
+	pendingWrites int
+
+	lastBank int // flattened bank index of the last scheduled transaction
+	lastRank int
+
+	// dynamic-threshold state (see dynamic.go)
+	dynamic        bool
+	nextAdapt      uint64
+	intervalReads  uint64
+	intervalWrites uint64
+
+	// Stats counts burst-level events for analysis and ablation.
+	Stats BurstStats
+}
+
+// BurstStats counts scheduling events specific to burst scheduling.
+type BurstStats struct {
+	BurstsFormed      uint64
+	ReadsJoinedBursts uint64 // reads appended to an existing burst
+	Preemptions       uint64
+	PiggybackedWrites uint64
+	ForcedWrites      uint64 // writes issued due to a full write queue
+	IdleWrites        uint64 // writes issued because no reads were pending
+	MaxBurstLen       int
+	// ThresholdAdaptations counts dynamic-threshold recalculations
+	// (Burst_DYN only).
+	ThresholdAdaptations uint64
+}
+
+func newBurst(h *memctrl.Host, name string, opt Options) *burstSched {
+	s := &burstSched{name: name, opt: opt, host: h, lastBank: -1, lastRank: -1}
+	s.engine = memctrl.NewEngine(h, s.onColumn)
+	ch := h.Channel()
+	s.banks = make([][]*bankState, ch.Ranks())
+	for r := range s.banks {
+		s.banks[r] = make([]*bankState, ch.Banks())
+		for b := range s.banks[r] {
+			s.banks[r][b] = &bankState{activeRow: -1}
+		}
+	}
+	return s
+}
+
+// Name implements memctrl.Mechanism.
+func (s *burstSched) Name() string { return s.name }
+
+// ForwardsWrites implements memctrl.Mechanism: burst scheduling forwards
+// write data to matching reads (paper Fig. 4).
+func (s *burstSched) ForwardsWrites() bool { return true }
+
+// Pending implements memctrl.Mechanism.
+func (s *burstSched) Pending() (reads, writes int) { return s.pendingReads, s.pendingWrites }
+
+// Enqueue implements the access enter queue subroutine (paper Fig. 4).
+// Write-queue hits were already forwarded by the controller, so a read
+// either joins an existing burst to its row or opens a new single-access
+// burst at the tail of the bank's burst queue. Writes append to the bank's
+// write queue in order.
+func (s *burstSched) Enqueue(a *memctrl.Access, now uint64) {
+	st := s.bank(int(a.Loc.Rank), int(a.Loc.Bank))
+	if a.Kind == memctrl.KindWrite {
+		st.writes = append(st.writes, a)
+		s.pendingWrites++
+		s.intervalWrites++
+		return
+	}
+	s.pendingReads++
+	s.intervalReads++
+	if s.opt.ReadPreemption && st.ongoingIsWrite && s.engine.Ongoing(int(a.Loc.Rank), int(a.Loc.Bank)) != nil &&
+		s.host.GlobalWrites() < s.opt.Threshold {
+		st.preemptPending = true
+	}
+	for _, bg := range st.bursts {
+		if bg.row == a.Loc.Row {
+			bg.reads = append(bg.reads, a)
+			s.Stats.ReadsJoinedBursts++
+			if n := len(bg.reads); n > s.Stats.MaxBurstLen {
+				s.Stats.MaxBurstLen = n
+			}
+			return
+		}
+	}
+	st.bursts = append(st.bursts, &burstGroup{row: a.Loc.Row, arrival: now, reads: []*memctrl.Access{a}})
+	s.Stats.BurstsFormed++
+	if s.Stats.MaxBurstLen == 0 {
+		s.Stats.MaxBurstLen = 1
+	}
+}
+
+func (s *burstSched) bank(rank, bank int) *bankState { return s.banks[rank][bank] }
+
+// Tick implements memctrl.Mechanism: adapt the threshold if dynamic, run
+// every bank arbiter, then the global transaction scheduler.
+func (s *burstSched) Tick(now uint64) {
+	if s.dynamic {
+		s.adaptThreshold(now)
+	}
+	s.engine.ForEachBank(func(r, b int) { s.arbitrate(r, b, now) })
+	if s.host.Channel().CommandSlotFree() {
+		s.schedule(now)
+	}
+}
+
+// arbitrate is the bank arbiter subroutine (paper Fig. 5).
+func (s *burstSched) arbitrate(rank, bank int, now uint64) {
+	st := s.bank(rank, bank)
+	ongoing := s.engine.Ongoing(rank, bank)
+	occupancy := s.host.GlobalWrites()
+
+	if ongoing == nil {
+		switch {
+		case s.host.WriteQueueFull() && len(st.writes) > 0:
+			// Fig. 5 line 2: the pool can accept no more writes;
+			// drain the oldest write. A write whose line is still
+			// wanted by a queued (necessarily older — younger reads
+			// were forwarded) read must not pass it: that would be a
+			// WAR hazard the paper's Section 3.4 argument does not
+			// cover for forced writes. Skip to the oldest safe write;
+			// if every write is behind a queued read, serve reads so
+			// the hazards clear.
+			if idx := s.oldestSafeWrite(st); idx >= 0 {
+				s.installWrite(rank, bank, idx, false)
+				s.Stats.ForcedWrites++
+			} else if len(st.bursts) > 0 {
+				s.installRead(rank, bank, now)
+			}
+		case s.opt.WritePiggyback && occupancy > s.opt.Threshold && st.endOfBurst && s.rowHitWriteIndex(st) >= 0:
+			// Fig. 5 line 4: piggyback the oldest qualified write at
+			// the end of the burst.
+			s.installWrite(rank, bank, s.rowHitWriteIndex(st), true)
+			s.Stats.PiggybackedWrites++
+		case len(st.writes) > 0 && s.pendingReads == 0 && len(st.bursts) == 0:
+			// Fig. 5 line 6: "write queue is not empty and read queue
+			// is empty" — reads are prioritized channel-wide, so
+			// writes drain only when no reads are outstanding at all.
+			// This aggressive read priority is what lets the write
+			// queue approach saturation (paper Section 5.1).
+			s.installWrite(rank, bank, 0, false)
+			s.Stats.IdleWrites++
+		case len(st.bursts) > 0:
+			// Fig. 5 line 8: first read in the next burst.
+			s.installRead(rank, bank, now)
+		}
+		return
+	}
+
+	// Fig. 5 line 9: read preemption, triggered by a read's arrival while
+	// this write was ongoing. Only writes whose column has not issued can
+	// be interrupted (a completed transfer cannot be undone); the engine
+	// clears ongoing slots at column issue, so any write still installed
+	// here is interruptible.
+	if st.preemptPending {
+		st.preemptPending = false
+		if s.opt.ReadPreemption && st.ongoingIsWrite && len(st.bursts) > 0 && occupancy < s.opt.Threshold {
+			s.preempt(rank, bank, ongoing, now)
+		}
+	}
+}
+
+// installWrite removes st.writes[idx] and makes it the bank's ongoing
+// access.
+func (s *burstSched) installWrite(rank, bank, idx int, piggyback bool) {
+	st := s.bank(rank, bank)
+	w := st.writes[idx]
+	st.writes = append(st.writes[:idx], st.writes[idx+1:]...)
+	st.ongoingIsWrite = true
+	st.ongoingPiggyback = piggyback
+	s.engine.SetOngoing(rank, bank, w)
+}
+
+// installRead pops the head read of the bank's next burst and makes it
+// ongoing. The next burst is the draining one if any; otherwise the oldest
+// burst (or, under LargestBurstFirst, the largest burst subject to the
+// aging guard).
+func (s *burstSched) installRead(rank, bank int, now uint64) {
+	st := s.bank(rank, bank)
+	bg := s.selectBurst(st, now)
+	rd := bg.reads[0]
+	bg.reads = bg.reads[1:]
+	st.activeRow = int64(bg.row)
+	st.ongoingIsWrite = false
+	st.ongoingPiggyback = false
+	// Leaving the burst in the queue lets newly arrived same-row reads
+	// keep joining it while it drains (paper Section 3).
+	s.engine.SetOngoing(rank, bank, rd)
+}
+
+// selectBurst picks the bank's next burst per the inter-burst policy.
+func (s *burstSched) selectBurst(st *bankState, now uint64) *burstGroup {
+	if st.activeRow >= 0 {
+		for _, bg := range st.bursts {
+			if int64(bg.row) == st.activeRow && len(bg.reads) > 0 {
+				return bg
+			}
+		}
+		// The draining burst is exhausted or gone; fall through.
+	}
+	if !s.opt.LargestBurstFirst {
+		return st.bursts[0]
+	}
+	limit := s.opt.StarvationLimit
+	if limit == 0 {
+		limit = defaultStarvationLimit
+	}
+	oldest := st.bursts[0]
+	if now-oldest.arrival >= limit {
+		return oldest // aging guard: the paper's starvation consideration
+	}
+	best := oldest
+	for _, bg := range st.bursts[1:] {
+		if len(bg.reads) > len(best.reads) {
+			best = bg
+		}
+	}
+	return best
+}
+
+// preempt resets an ongoing write back to the front of the bank's write
+// queue and installs the first read of the next burst (Fig. 5 lines 10-11).
+// The write keeps any precharge/activate progress in the bank state — which
+// is how a preempting read can observe a row empty (paper Section 5.2).
+func (s *burstSched) preempt(rank, bank int, w *memctrl.Access, now uint64) {
+	st := s.bank(rank, bank)
+	s.engine.ClearOngoing(rank, bank)
+	st.writes = append([]*memctrl.Access{w}, st.writes...)
+	s.Stats.Preemptions++
+	s.installRead(rank, bank, now)
+}
+
+// onColumn runs when an access's column transaction issues: maintain
+// pending counts and the end-of-burst piggyback window.
+func (s *burstSched) onColumn(a *memctrl.Access, now uint64) {
+	rank, bank := int(a.Loc.Rank), int(a.Loc.Bank)
+	st := s.bank(rank, bank)
+	if a.Kind == memctrl.KindWrite {
+		s.pendingWrites--
+		// Any completed write leaves its row open and opens a piggyback
+		// window on that row: queued same-row writes follow back to
+		// back, which is how piggybacking "exploits the locality of row
+		// hits from writes" (Section 3.2) — L2 writebacks of
+		// sequentially filled lines cluster by row.
+		st.endOfBurst = true
+		st.lastRow = a.Loc.Row
+		return
+	}
+	s.pendingReads--
+	for i, bg := range st.bursts {
+		if bg.row != a.Loc.Row {
+			continue
+		}
+		if len(bg.reads) == 0 {
+			// The burst is exhausted: remove it and open the
+			// piggyback window on its row.
+			st.bursts = append(st.bursts[:i], st.bursts[i+1:]...)
+			st.endOfBurst = true
+			st.lastRow = a.Loc.Row
+			st.activeRow = -1
+			return
+		}
+		break
+	}
+	st.endOfBurst = false
+}
+
+// oldestSafeWrite returns the index of the oldest write in the bank whose
+// line is not wanted by any queued read, or -1 when every write is
+// hazardous (the reads will drain first).
+func (s *burstSched) oldestSafeWrite(st *bankState) int {
+	lineBytes := s.host.Config().Geometry.LineBytes
+	for i, w := range st.writes {
+		if !s.lineHasQueuedRead(st, w.LineAddr(lineBytes), lineBytes) {
+			return i
+		}
+	}
+	return -1
+}
+
+// lineHasQueuedRead reports whether any queued read in the bank targets
+// the line.
+func (s *burstSched) lineHasQueuedRead(st *bankState, line uint64, lineBytes int) bool {
+	for _, bg := range st.bursts {
+		for _, rd := range bg.reads {
+			if rd.LineAddr(lineBytes) == line {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rowHitWriteIndex returns the index of the oldest write to the bank's
+// piggyback row, or -1. Writes whose line a queued read still wants are
+// skipped (a read to the same row may have formed a fresh burst after the
+// piggyback window opened; letting the write pass it would be a WAR
+// hazard).
+func (s *burstSched) rowHitWriteIndex(st *bankState) int {
+	lineBytes := s.host.Config().Geometry.LineBytes
+	for i, w := range st.writes {
+		if w.Loc.Row != st.lastRow {
+			continue
+		}
+		if s.lineHasQueuedRead(st, w.LineAddr(lineBytes), lineBytes) {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// schedule is the transaction scheduler subroutine (paper Fig. 6) driven by
+// the static priority of paper Table 2. Among all banks' unblocked next
+// transactions it issues the one with the lowest priority value; oldest
+// arrival breaks ties. When nothing is unblocked, last bank/rank move to
+// the bank holding the oldest access so its burst starts next (Fig. 6
+// lines 14-15).
+func (s *burstSched) schedule(now uint64) {
+	cands := s.engine.Candidates()
+	best := -1
+	bestPri := 99
+	var bestArrival uint64
+	oldest := -1
+	var oldestArrival uint64
+	for i, c := range cands {
+		if oldest < 0 || c.Access.Arrival < oldestArrival {
+			oldest = i
+			oldestArrival = c.Access.Arrival
+		}
+		if !c.Unblocked {
+			continue
+		}
+		pri := 0
+		if !s.opt.NaivePriority {
+			pri = s.priority(c)
+		}
+		if best < 0 || pri < bestPri || (pri == bestPri && c.Access.Arrival < bestArrival) {
+			best = i
+			bestPri = pri
+			bestArrival = c.Access.Arrival
+		}
+	}
+	if best < 0 {
+		if oldest >= 0 {
+			s.lastRank = cands[oldest].Rank
+			s.lastBank = s.flatBank(cands[oldest].Rank, cands[oldest].Bank)
+		}
+		return
+	}
+	c := cands[best]
+	s.engine.Issue(c, now)
+	s.lastRank = c.Rank
+	s.lastBank = s.flatBank(c.Rank, c.Bank)
+}
+
+func (s *burstSched) flatBank(rank, bank int) int {
+	return rank*s.host.Channel().Banks() + bank
+}
+
+// priority implements paper Table 2 (1 = highest, 8 = lowest).
+func (s *burstSched) priority(c memctrl.Candidate) int {
+	read := c.Access.Kind == memctrl.KindRead
+	switch c.Cmd {
+	case dram.CmdRead, dram.CmdWrite:
+		sameBank := s.flatBank(c.Rank, c.Bank) == s.lastBank
+		sameRank := c.Rank == s.lastRank
+		switch {
+		case read && sameBank:
+			return 1
+		case read && sameRank:
+			return 2
+		case !read && sameBank:
+			return 3
+		case !read && sameRank:
+			return 4
+		case read:
+			return 7
+		default:
+			return 8
+		}
+	default: // precharge and activate: overlap freely, no data bus needed
+		if read {
+			return 5
+		}
+		return 6
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"burstmem/internal/addrmap"
+	"burstmem/internal/dram"
+	"burstmem/internal/mctest"
+	"burstmem/internal/memctrl"
+)
+
+// TestLargestBurstFirst: under the size policy, a younger large burst is
+// served before an older single-access burst (within the aging limit).
+func TestLargestBurstFirst(t *testing.T) {
+	cfg := mctest.SmallConfig(noRefresh(dram.DDR2_800()))
+	r, err := mctest.NewRunner(cfg, BurstSized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the bank busy so both bursts are queued before any read
+	// installs: a write occupies the bank first (no reads pending yet).
+	if _, err := r.SubmitLoc(memctrl.KindWrite, addrmap.Loc{Bank: 0, Row: 9, Col: 0}); err != nil {
+		t.Fatal(err)
+	}
+	r.Step(1) // the write becomes ongoing
+	small, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 1, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big []*memctrl.Access
+	for i := 0; i < 4; i++ {
+		a, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 2, Col: uint32(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		big = append(big, a)
+	}
+	if _, err := r.RunUntilDrained(100000); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range big {
+		if r.DoneAt[a.ID] >= r.DoneAt[small.ID] {
+			t.Fatalf("large burst access %d (done %d) did not beat the older single burst (done %d)",
+				i, r.DoneAt[a.ID], r.DoneAt[small.ID])
+		}
+	}
+}
+
+// TestLargestBurstFirstAgingGuard: a burst older than the starvation limit
+// goes first even when a larger burst exists.
+func TestLargestBurstFirstAgingGuard(t *testing.T) {
+	cfg := mctest.SmallConfig(noRefresh(dram.DDR2_800()))
+	factory := func(h *memctrl.Host) memctrl.Mechanism {
+		return newBurst(h, "Burst_SZ_test", Options{
+			ReadPreemption:    true,
+			WritePiggyback:    true,
+			Threshold:         cfg.MaxWrites,
+			LargestBurstFirst: true,
+			StarvationLimit:   50,
+		})
+	}
+	r, err := mctest.NewRunner(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SubmitLoc(memctrl.KindWrite, addrmap.Loc{Bank: 0, Row: 9, Col: 0}); err != nil {
+		t.Fatal(err)
+	}
+	r.Step(1)
+	old, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 1, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age the single burst past the limit while the bank drains the
+	// write (no other reads yet, so the old burst starts; make the bank
+	// busy with writes to keep it queued).
+	for i := 0; i < 3; i++ {
+		if _, err := r.SubmitLoc(memctrl.KindWrite, addrmap.Loc{Bank: 0, Row: 9, Col: uint32(1 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Step(60) // exceed the starvation limit
+	var big []*memctrl.Access
+	for i := 0; i < 4; i++ {
+		a, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 2, Col: uint32(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		big = append(big, a)
+	}
+	if _, err := r.RunUntilDrained(100000); err != nil {
+		t.Fatal(err)
+	}
+	if r.DoneAt[old.ID] >= r.DoneAt[big[0].ID] {
+		t.Fatalf("aged burst (done %d) was starved by the larger burst (first done %d)",
+			r.DoneAt[old.ID], r.DoneAt[big[0].ID])
+	}
+}
+
+// TestBurstDrainNotInterrupted: once a burst starts draining, a larger
+// burst arriving does not steal the bank mid-burst (row hits stay back to
+// back).
+func TestBurstDrainNotInterrupted(t *testing.T) {
+	cfg := mctest.SmallConfig(noRefresh(dram.DDR2_800()))
+	r, err := mctest.NewRunner(cfg, BurstSized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []*memctrl.Access
+	for i := 0; i < 3; i++ {
+		a, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 1, Col: uint32(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, a)
+	}
+	r.Step(8) // burst 1 starts draining
+	var second []*memctrl.Access
+	for i := 0; i < 6; i++ {
+		a, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 2, Col: uint32(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		second = append(second, a)
+	}
+	if _, err := r.RunUntilDrained(100000); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range first {
+		if r.DoneAt[a.ID] >= r.DoneAt[second[0].ID] {
+			t.Fatalf("draining burst interrupted: first-burst access done %d after second burst began %d",
+				r.DoneAt[a.ID], r.DoneAt[second[0].ID])
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package cpu implements the trace-driven out-of-order processor model of
+// the baseline machine (paper Table 3): 8-wide, 196-entry ROB, 32-entry
+// load/store queue, running at 4 GHz (ten CPU cycles per DDR2-800 memory
+// cycle).
+//
+// The model reproduces the processor behaviours that access reordering
+// results depend on, without executing an ISA:
+//
+//   - memory-level parallelism: independent loads in the ROB window issue
+//     concurrently through non-blocking caches;
+//   - load-latency coupling: an incomplete load at the ROB head blocks
+//     retirement, so main-memory read latency translates into stall
+//     cycles;
+//   - dependent loads: pointer-chase workloads serialize, capping MLP;
+//   - store-path back-pressure: stores retire through a bounded store
+//     buffer; when cache writebacks saturate the memory controller's
+//     write queue, the buffer fills and the pipeline stalls (the paper's
+//     Section 5.1 mechanism).
+package cpu
+
+import (
+	"fmt"
+
+	"burstmem/internal/cache"
+	"burstmem/internal/workload"
+)
+
+// Mem is the CPU's data-memory port (normally the L1 data cache).
+type Mem interface {
+	Access(addr uint64, isWrite bool, done func()) cache.Result
+}
+
+// Config describes the core (defaults per paper Table 3).
+type Config struct {
+	Width        int // issue/retire width per CPU cycle
+	ROBSize      int
+	LSQSize      int // outstanding issued-and-incomplete loads
+	StoreBufSize int
+	L1Latency    int // CPU cycles charged for an L1 hit
+}
+
+// DefaultConfig returns the Table 3 core: 4 GHz, 8-way, 196 ROB, 32 LSQ.
+func DefaultConfig() Config {
+	return Config{Width: 8, ROBSize: 196, LSQSize: 32, StoreBufSize: 32, L1Latency: 3}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width < 1 || c.ROBSize < 1 || c.LSQSize < 1 || c.StoreBufSize < 1 {
+		return fmt.Errorf("cpu: width/ROB/LSQ/store buffer must be positive: %+v", c)
+	}
+	if c.L1Latency < 0 {
+		return fmt.Errorf("cpu: negative L1 latency")
+	}
+	return nil
+}
+
+// Stats reports execution statistics.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+
+	LoadsIssued  uint64
+	StoresQueued uint64
+
+	ROBFullCycles      uint64 // dispatch stalled: ROB full
+	StoreBufFullStalls uint64 // retirement stalled: store buffer full
+	HeadLoadStalls     uint64 // retirement stalled: incomplete load at head
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	typ     workload.OpType
+	addr    uint64
+	done    bool
+	issued  bool
+	counted bool // holds an LSQ (outstanding line fetch) slot
+	lsqWait bool // last issue attempt failed on a full LSQ
+	seq     uint64
+	// depIdx/depSeq identify the load this load's address depends on (a
+	// ROB slot plus its generation); it may not issue until that load
+	// completes or its slot is recycled (which implies retirement).
+	depIdx int
+	depSeq uint64
+}
+
+type storeSlot struct {
+	addr    uint64
+	waiting bool // store missed; line fill in flight
+	filled  bool // fill arrived; slot can pop
+}
+
+// CPU is the core model.
+type CPU struct {
+	cfg Config
+	gen workload.Generator
+	mem Mem
+
+	rob        []robEntry
+	head, tail int
+	count      int
+	seq        uint64
+
+	// lastLoadIdx/lastLoadSeq identify the most recently dispatched load
+	// (dependence target for pointer-chase ops).
+	lastLoadIdx int
+	lastLoadSeq uint64
+
+	pendingIssue []int // ROB indices of loads awaiting issue
+	lsqInFlight  int
+
+	storeBuf []*storeSlot
+	sbIssued int // watermark: storeBuf[:sbIssued] already issued
+
+	now          uint64         // internal cycle clock (never reset)
+	totalRetired uint64         // lifetime retirement count (never reset)
+	delayQ       []deferredDone // L1-hit completions (constant latency FIFO)
+
+	Stats Stats
+}
+
+type deferredDone struct {
+	at  uint64
+	idx int
+	seq uint64
+}
+
+// New builds a CPU over a workload generator and a memory port.
+func New(cfg Config, gen workload.Generator, mem Mem) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CPU{
+		cfg: cfg,
+		gen: gen,
+		mem: mem,
+		rob: make([]robEntry, cfg.ROBSize),
+	}, nil
+}
+
+// Retired returns the lifetime retired instruction count (unaffected by
+// ResetStats; Stats.Retired counts the current measurement window).
+func (c *CPU) Retired() uint64 { return c.totalRetired }
+
+// Cycles returns elapsed CPU cycles.
+func (c *CPU) Cycles() uint64 { return c.Stats.Cycles }
+
+// Tick advances one CPU cycle: drain the store buffer, fire L1-hit
+// completions, retire, replay blocked loads, dispatch.
+func (c *CPU) Tick() {
+	c.now++
+	c.Stats.Cycles++
+	c.fireDelayed()
+	c.drainStores()
+	c.retire()
+	c.replay()
+	c.dispatch()
+}
+
+func (c *CPU) fireDelayed() {
+	for len(c.delayQ) > 0 && c.delayQ[0].at <= c.now {
+		d := c.delayQ[0]
+		c.delayQ = c.delayQ[1:]
+		e := &c.rob[d.idx]
+		if e.seq == d.seq {
+			c.completeLoad(e)
+		}
+	}
+}
+
+// completeLoad marks a load done and releases its LSQ slot.
+func (c *CPU) completeLoad(e *robEntry) {
+	if e.done {
+		return
+	}
+	e.done = true
+	if e.counted {
+		c.lsqInFlight--
+	}
+}
+
+// storeIssueWidth bounds store-buffer cache accesses per cycle. Store
+// misses fill in parallel (each holds a cache MSHR), so independent store
+// misses overlap instead of serializing behind the buffer head.
+const storeIssueWidth = 4
+
+// drainStores retires completed stores from the buffer head and issues
+// cache accesses for stores whose lines are not yet in flight. Stores
+// issue in order, so sbIssued is a watermark: everything before it is
+// already waiting or filled.
+func (c *CPU) drainStores() {
+	for len(c.storeBuf) > 0 && c.storeBuf[0].filled {
+		c.storeBuf = c.storeBuf[1:]
+		if c.sbIssued > 0 {
+			c.sbIssued--
+		}
+	}
+	issued := 0
+	for c.sbIssued < len(c.storeBuf) && issued < storeIssueWidth {
+		s := c.storeBuf[c.sbIssued]
+		switch c.mem.Access(s.addr, true, func() { s.filled = true }) {
+		case cache.Hit:
+			s.filled = true
+			issued++
+			c.sbIssued++
+		case cache.Miss, cache.MissMerged:
+			s.waiting = true // write-allocate fill in flight (merged
+			// misses ride the line fetch already outstanding)
+			issued++
+			c.sbIssued++
+		case cache.Blocked:
+			// Retry next cycle: this is the back-pressure path from
+			// a saturated memory write queue. Stop issuing to
+			// preserve ordering pressure at the blocked line.
+			return
+		}
+	}
+}
+
+// retire commits up to Width completed instructions from the ROB head.
+func (c *CPU) retire() {
+	for n := 0; n < c.cfg.Width && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if !e.done {
+			if e.typ == workload.OpLoad {
+				c.Stats.HeadLoadStalls++
+			}
+			return
+		}
+		if e.typ == workload.OpStore {
+			if len(c.storeBuf) >= c.cfg.StoreBufSize {
+				c.Stats.StoreBufFullStalls++
+				return
+			}
+			c.storeBuf = append(c.storeBuf, &storeSlot{addr: e.addr})
+			c.Stats.StoresQueued++
+		}
+		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.count--
+		c.Stats.Retired++
+		c.totalRetired++
+	}
+}
+
+// replay retries loads that could not issue earlier (dependence unresolved,
+// LSQ full, or cache blocked). Loads known to be waiting on a full LSQ are
+// skipped cheaply while it remains full.
+func (c *CPU) replay() {
+	lsqFull := c.lsqInFlight >= c.cfg.LSQSize
+	remaining := c.pendingIssue[:0]
+	for _, idx := range c.pendingIssue {
+		e := &c.rob[idx]
+		if e.done || e.issued {
+			continue
+		}
+		if e.lsqWait && lsqFull {
+			remaining = append(remaining, idx)
+			continue
+		}
+		if !c.tryIssueLoad(idx, e) {
+			remaining = append(remaining, idx)
+			if c.lsqInFlight >= c.cfg.LSQSize {
+				lsqFull = true
+			}
+		}
+	}
+	c.pendingIssue = remaining
+}
+
+// tryIssueLoad attempts a load's cache access. Returns false if it must be
+// replayed later.
+func (c *CPU) tryIssueLoad(idx int, e *robEntry) bool {
+	if e.depSeq != 0 {
+		if dep := &c.rob[e.depIdx]; dep.seq == e.depSeq && !dep.done {
+			return false // address not available yet
+		}
+		e.depSeq = 0
+	}
+	// The LSQ bounds distinct outstanding line fetches; hits and merged
+	// misses ride existing entries. A load that may allocate a new fetch
+	// must find a free slot first.
+	if c.lsqInFlight >= c.cfg.LSQSize && c.wouldAllocate(e.addr) {
+		e.lsqWait = true
+		return false
+	}
+	e.lsqWait = false
+	seq := e.seq
+	switch c.mem.Access(e.addr, false, func() { c.loadReturned(idx, seq) }) {
+	case cache.Hit:
+		e.issued = true
+		c.Stats.LoadsIssued++
+		c.delayQ = append(c.delayQ, deferredDone{
+			at: c.now + uint64(c.cfg.L1Latency), idx: idx, seq: seq,
+		})
+		return true
+	case cache.Miss:
+		e.issued = true
+		e.counted = true
+		c.lsqInFlight++
+		c.Stats.LoadsIssued++
+		return true
+	case cache.MissMerged:
+		e.issued = true
+		c.Stats.LoadsIssued++
+		return true
+	default:
+		return false
+	}
+}
+
+// wouldAllocate asks the memory port whether a load would start a new line
+// fetch, when the port supports the query (the L1 cache does; simple test
+// stubs need not).
+func (c *CPU) wouldAllocate(addr uint64) bool {
+	type allocProber interface{ WouldAllocate(addr uint64) bool }
+	if p, ok := c.mem.(allocProber); ok {
+		return p.WouldAllocate(addr)
+	}
+	return true
+}
+
+// loadReturned is the miss-path completion callback.
+func (c *CPU) loadReturned(idx int, seq uint64) {
+	e := &c.rob[idx]
+	if e.seq == seq {
+		c.completeLoad(e)
+	}
+}
+
+// dispatch brings up to Width new instructions into the ROB.
+func (c *CPU) dispatch() {
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.count >= c.cfg.ROBSize {
+			c.Stats.ROBFullCycles++
+			return
+		}
+		op := c.gen.Next()
+		c.seq++
+		idx := c.tail
+		e := &c.rob[idx]
+		*e = robEntry{typ: op.Type, addr: op.Addr, seq: c.seq}
+		c.tail = (c.tail + 1) % c.cfg.ROBSize
+		c.count++
+		switch op.Type {
+		case workload.OpNonMem, workload.OpStore:
+			// Non-memory work executes within the window; stores
+			// compute their data by retirement. Both complete
+			// immediately for retirement purposes.
+			e.done = true
+		case workload.OpLoad:
+			if op.DepOnPrevLoad && c.lastLoadSeq != 0 {
+				if dep := &c.rob[c.lastLoadIdx]; dep.seq == c.lastLoadSeq && !dep.done {
+					e.depIdx = c.lastLoadIdx
+					e.depSeq = c.lastLoadSeq
+				}
+			}
+			c.lastLoadIdx = idx
+			c.lastLoadSeq = c.seq
+			if !c.tryIssueLoad(idx, e) {
+				c.pendingIssue = append(c.pendingIssue, idx)
+			}
+		}
+	}
+}
+
+// ResetStats zeroes the statistics counters without disturbing
+// architectural or timing state, opening a measurement window after cache
+// warmup.
+func (c *CPU) ResetStats() { c.Stats = Stats{} }
+
+// Quiesced reports whether the CPU has no in-flight memory activity
+// (used to drain simulations cleanly).
+func (c *CPU) Quiesced() bool {
+	return c.lsqInFlight == 0 && len(c.storeBuf) == 0 && len(c.delayQ) == 0
+}

@@ -1,0 +1,276 @@
+package cpu
+
+import (
+	"testing"
+
+	"burstmem/internal/cache"
+	"burstmem/internal/workload"
+)
+
+// scriptGen replays a fixed op sequence, then pads with non-memory ops.
+type scriptGen struct {
+	ops []workload.Op
+	i   int
+}
+
+func (g *scriptGen) Name() string { return "script" }
+func (g *scriptGen) Next() workload.Op {
+	if g.i < len(g.ops) {
+		op := g.ops[g.i]
+		g.i++
+		return op
+	}
+	return workload.Op{Type: workload.OpNonMem}
+}
+
+// stubMem is a scriptable memory port: every access misses and completes
+// when the test calls release (or hits immediately when latency == 0).
+type stubMem struct {
+	pending []func()
+	blocked bool
+	hitAll  bool
+
+	loads, stores int
+}
+
+func (m *stubMem) Access(addr uint64, isWrite bool, done func()) cache.Result {
+	if m.blocked {
+		return cache.Blocked
+	}
+	if isWrite {
+		m.stores++
+	} else {
+		m.loads++
+	}
+	if m.hitAll {
+		return cache.Hit
+	}
+	m.pending = append(m.pending, done)
+	return cache.Miss
+}
+
+func (m *stubMem) release() {
+	p := m.pending
+	m.pending = nil
+	for _, fn := range p {
+		if fn != nil {
+			fn()
+		}
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.L1Latency = 0
+	return cfg
+}
+
+func newCPU(t *testing.T, cfg Config, gen workload.Generator, mem Mem) *CPU {
+	t.Helper()
+	c, err := New(cfg, gen, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.ROBSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero ROB accepted")
+	}
+	if _, err := New(bad, &scriptGen{}, &stubMem{}); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+// TestNonMemThroughput: pure compute retires at full width.
+func TestNonMemThroughput(t *testing.T) {
+	c := newCPU(t, testConfig(), &scriptGen{}, &stubMem{hitAll: true})
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	// Width 8, 100 cycles, minus pipeline fill.
+	if c.Retired() < 8*99-16 {
+		t.Fatalf("retired %d of ~%d", c.Retired(), 8*100)
+	}
+	if got := c.Stats.IPC(); got < 7.5 {
+		t.Fatalf("IPC %v, want ~8 on pure compute", got)
+	}
+}
+
+// TestLoadMissBlocksRetirement: an incomplete load at the ROB head stalls
+// retirement until the miss returns.
+func TestLoadMissBlocksRetirement(t *testing.T) {
+	mem := &stubMem{}
+	gen := &scriptGen{ops: []workload.Op{{Type: workload.OpLoad, Addr: 0x1000}}}
+	c := newCPU(t, testConfig(), gen, mem)
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	// The load is at the head, incomplete: only instructions before it
+	// retired (none), so retirement is stuck at 0.
+	if c.Retired() != 0 {
+		t.Fatalf("retired %d with load outstanding", c.Retired())
+	}
+	if c.Stats.HeadLoadStalls == 0 {
+		t.Fatal("head-load stalls not counted")
+	}
+	mem.release()
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if c.Retired() == 0 {
+		t.Fatal("retirement did not resume after fill")
+	}
+}
+
+// TestMLP: independent load misses issue concurrently (ROB window exposes
+// memory-level parallelism).
+func TestMLP(t *testing.T) {
+	mem := &stubMem{}
+	var ops []workload.Op
+	for i := 0; i < 16; i++ {
+		ops = append(ops, workload.Op{Type: workload.OpLoad, Addr: uint64(i) << 12})
+	}
+	c := newCPU(t, testConfig(), &scriptGen{ops: ops}, mem)
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if len(mem.pending) < 16 {
+		t.Fatalf("%d concurrent misses, want 16 (no MLP)", len(mem.pending))
+	}
+}
+
+// TestDependentLoadsSerialize: chase loads wait for the previous load.
+func TestDependentLoadsSerialize(t *testing.T) {
+	mem := &stubMem{}
+	ops := []workload.Op{
+		{Type: workload.OpLoad, Addr: 0x1000},
+		{Type: workload.OpLoad, Addr: 0x2000, DepOnPrevLoad: true},
+		{Type: workload.OpLoad, Addr: 0x3000, DepOnPrevLoad: true},
+	}
+	c := newCPU(t, testConfig(), &scriptGen{ops: ops}, mem)
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	if len(mem.pending) != 1 {
+		t.Fatalf("%d outstanding, want 1 (chain serialized)", len(mem.pending))
+	}
+	mem.release()
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	if len(mem.pending) != 1 {
+		t.Fatalf("%d outstanding after first fill, want 1 (second link)", len(mem.pending))
+	}
+}
+
+// TestLSQBoundsOutstandingFetches: distinct outstanding misses are capped
+// by LSQSize.
+func TestLSQBoundsOutstandingFetches(t *testing.T) {
+	mem := &stubMem{}
+	cfg := testConfig()
+	cfg.LSQSize = 4
+	cfg.ROBSize = 64
+	var ops []workload.Op
+	for i := 0; i < 32; i++ {
+		ops = append(ops, workload.Op{Type: workload.OpLoad, Addr: uint64(i) << 12})
+	}
+	c := newCPU(t, cfg, &scriptGen{ops: ops}, mem)
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	if len(mem.pending) != 4 {
+		t.Fatalf("%d outstanding fetches, want LSQ limit 4", len(mem.pending))
+	}
+}
+
+// TestStoreBufferBackpressure: when the memory port blocks stores, the
+// store buffer fills and retirement of stores stalls.
+func TestStoreBufferBackpressure(t *testing.T) {
+	mem := &stubMem{hitAll: true}
+	cfg := testConfig()
+	cfg.StoreBufSize = 2
+	var ops []workload.Op
+	for i := 0; i < 32; i++ {
+		ops = append(ops, workload.Op{Type: workload.OpStore, Addr: uint64(i) << 12})
+	}
+	c := newCPU(t, cfg, &scriptGen{ops: ops}, mem)
+	c.Tick()
+	mem.blocked = true // memory refuses: writeback path saturated
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if c.Stats.StoreBufFullStalls == 0 {
+		t.Fatal("store-buffer stalls not observed under blocked memory")
+	}
+	before := c.Retired()
+	mem.blocked = false
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if c.Retired() <= before {
+		t.Fatal("retirement did not resume after unblocking")
+	}
+}
+
+// TestROBFullStalls: a never-completing load eventually fills the ROB and
+// dispatch stops.
+func TestROBFullStalls(t *testing.T) {
+	mem := &stubMem{}
+	gen := &scriptGen{ops: []workload.Op{{Type: workload.OpLoad, Addr: 0x1000}}}
+	cfg := testConfig()
+	cfg.ROBSize = 16
+	c := newCPU(t, cfg, gen, mem)
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if c.Stats.ROBFullCycles == 0 {
+		t.Fatal("ROB-full stalls not counted")
+	}
+}
+
+// TestResetStatsKeepsTiming: resetting statistics does not disturb
+// in-flight timing.
+func TestResetStatsKeepsTiming(t *testing.T) {
+	mem := &stubMem{hitAll: true}
+	cfg := testConfig()
+	cfg.L1Latency = 3
+	c := newCPU(t, cfg, &scriptGen{ops: []workload.Op{{Type: workload.OpLoad, Addr: 64}}}, mem)
+	c.Tick() // load issues; completion deferred 3 cycles
+	c.ResetStats()
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if c.Retired() == 0 {
+		t.Fatal("deferred completion lost across ResetStats")
+	}
+	if c.Stats.Cycles != 10 {
+		t.Fatalf("cycles after reset = %d, want 10", c.Stats.Cycles)
+	}
+}
+
+// TestQuiesced reports in-flight state correctly.
+func TestQuiesced(t *testing.T) {
+	mem := &stubMem{}
+	c := newCPU(t, testConfig(), &scriptGen{ops: []workload.Op{{Type: workload.OpLoad, Addr: 64}}}, mem)
+	if !c.Quiesced() {
+		t.Fatal("fresh CPU should be quiesced")
+	}
+	c.Tick()
+	if c.Quiesced() {
+		t.Fatal("CPU with outstanding miss reported quiesced")
+	}
+	mem.release()
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	if !c.Quiesced() {
+		t.Fatal("CPU did not quiesce after fill")
+	}
+}

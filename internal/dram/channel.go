@@ -1,0 +1,468 @@
+package dram
+
+import "fmt"
+
+// Cmd is an SDRAM command type.
+type Cmd int
+
+// SDRAM commands issued by the memory controller. Refresh is issued
+// internally by the channel's refresh engine.
+const (
+	CmdPrecharge Cmd = iota
+	CmdActivate
+	CmdRead
+	CmdWrite
+	CmdRefresh
+)
+
+// String implements fmt.Stringer.
+func (c Cmd) String() string {
+	switch c {
+	case CmdPrecharge:
+		return "PRE"
+	case CmdActivate:
+		return "ACT"
+	case CmdRead:
+		return "READ"
+	case CmdWrite:
+		return "WRITE"
+	case CmdRefresh:
+		return "REF"
+	}
+	return fmt.Sprintf("Cmd(%d)", int(c))
+}
+
+// Target identifies the destination of a command within a channel.
+type Target struct {
+	Rank int
+	Bank int
+	Row  uint32 // used by Activate
+	Col  uint32 // used by Read/Write (line-granularity column)
+}
+
+// RowOutcome classifies an access by the bank state it encountered
+// (paper Section 2).
+type RowOutcome int
+
+// Row outcomes: a hit needs only a column access, an empty needs activate +
+// column, a conflict needs precharge + activate + column.
+const (
+	RowHit RowOutcome = iota
+	RowEmpty
+	RowConflict
+)
+
+// String implements fmt.Stringer.
+func (o RowOutcome) String() string {
+	switch o {
+	case RowHit:
+		return "hit"
+	case RowEmpty:
+		return "empty"
+	case RowConflict:
+		return "conflict"
+	}
+	return fmt.Sprintf("RowOutcome(%d)", int(o))
+}
+
+// bank holds per-bank state and earliest-issue constraints.
+type bank struct {
+	open bool
+	row  uint32
+
+	nextActivate  uint64
+	nextPrecharge uint64
+	nextRead      uint64
+	nextWrite     uint64
+}
+
+// rank holds per-rank state: activate pacing, write-to-read turnaround and
+// the refresh engine.
+type rank struct {
+	banks []bank
+
+	// Activate timestamps are stored as cycle+1 so the zero value means
+	// "never activated".
+	lastActivate uint64 // for tRRD
+	actWindow    [4]uint64
+	actIdx       int
+
+	writeDataEnd uint64 // for tWTR (same-rank write-to-read)
+
+	nextRefresh  uint64 // cycle the next refresh becomes due
+	refreshUntil uint64 // busy refreshing until this cycle (exclusive)
+}
+
+// Stats accumulates channel activity for utilization reporting.
+type Stats struct {
+	Commands      uint64 // address/command bus busy cycles
+	DataBusCycles uint64 // data bus busy cycles
+	Reads         uint64
+	Writes        uint64
+	Activates     uint64
+	Precharges    uint64
+	Refreshes     uint64
+	Outcomes      [3]uint64 // indexed by RowOutcome, counted at Classify-on-issue time
+	// ActiveRankCycles counts rank-cycles with at least one open bank
+	// (sampled in Tick), for background power accounting.
+	ActiveRankCycles uint64
+}
+
+// Channel models one independent memory channel: a command/address bus, a
+// shared data bus and a set of ranks each with internal banks.
+type Channel struct {
+	T     Timing
+	Stats Stats
+
+	ranks []rank
+	now   uint64
+
+	// data bus bookkeeping
+	busBusyUntil uint64 // first cycle the data bus is free
+	busLastRank  int
+	busLastWrite bool
+	busUsed      bool
+
+	cmdThisCycle bool
+}
+
+// NewChannel builds a channel with the given timing and organization.
+// Timing must validate.
+func NewChannel(t Timing, ranks, banksPerRank int) (*Channel, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 1 || banksPerRank < 1 {
+		return nil, fmt.Errorf("dram: need at least one rank and bank (got %d, %d)", ranks, banksPerRank)
+	}
+	c := &Channel{T: t, busLastRank: -1}
+	c.ranks = make([]rank, ranks)
+	for i := range c.ranks {
+		c.ranks[i].banks = make([]bank, banksPerRank)
+		if t.TREFI > 0 {
+			// Stagger rank refreshes to avoid lock-step channel stalls.
+			c.ranks[i].nextRefresh = uint64(t.TREFI) + uint64(i*t.TREFI/ranks)
+		}
+	}
+	return c, nil
+}
+
+// Ranks returns the number of ranks on the channel.
+func (c *Channel) Ranks() int { return len(c.ranks) }
+
+// Banks returns the number of banks per rank.
+func (c *Channel) Banks() int { return len(c.ranks[0].banks) }
+
+// Now returns the current cycle as last set by Tick.
+func (c *Channel) Now() uint64 { return c.now }
+
+// Tick advances the channel to the given cycle and runs the refresh engine.
+// It returns true when the refresh engine consumed this cycle's command
+// slot (the controller must not issue a command this cycle).
+//
+// Refresh is all-bank auto-refresh per rank: when a rank's tREFI deadline
+// passes, the engine blocks new activates to the rank, closes any open
+// banks by issuing precharges itself (one command per cycle), and then
+// holds the rank busy for tRFC. Afterwards every bank is precharged, which
+// is why most row-empty accesses trail refreshes (paper Section 5.2).
+func (c *Channel) Tick(now uint64) bool {
+	c.now = now
+	c.cmdThisCycle = false
+	for r := range c.ranks {
+		for b := range c.ranks[r].banks {
+			if c.ranks[r].banks[b].open {
+				c.Stats.ActiveRankCycles++
+				break
+			}
+		}
+	}
+	if c.T.TREFI == 0 {
+		return false
+	}
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		if rk.refreshUntil > now || now < rk.nextRefresh {
+			continue
+		}
+		// Refresh due. Close open banks first.
+		allClosed := true
+		for b := range rk.banks {
+			bk := &rk.banks[b]
+			if !bk.open {
+				continue
+			}
+			allClosed = false
+			if now >= bk.nextPrecharge && !c.cmdThisCycle {
+				c.issuePrecharge(r, b)
+				c.cmdThisCycle = true
+			}
+		}
+		if allClosed && !c.cmdThisCycle {
+			rk.refreshUntil = now + uint64(c.T.TRFC)
+			rk.nextRefresh += uint64(c.T.TREFI)
+			c.Stats.Refreshes++
+			c.Stats.Commands++
+			c.cmdThisCycle = true
+		}
+	}
+	return c.cmdThisCycle
+}
+
+// CommandSlotFree reports whether the controller may issue a command this
+// cycle (the refresh engine may have consumed the slot during Tick).
+func (c *Channel) CommandSlotFree() bool { return !c.cmdThisCycle }
+
+// OpenRow returns the open row of a bank, if any.
+func (c *Channel) OpenRow(rankIdx, bankIdx int) (uint32, bool) {
+	b := &c.ranks[rankIdx].banks[bankIdx]
+	return b.row, b.open
+}
+
+// Classify reports the row outcome an access to (rank, bank, row) would see
+// in the current bank state.
+func (c *Channel) Classify(t Target) RowOutcome {
+	b := &c.ranks[t.Rank].banks[t.Bank]
+	switch {
+	case !b.open:
+		return RowEmpty
+	case b.row == t.Row:
+		return RowHit
+	default:
+		return RowConflict
+	}
+}
+
+// NextCommand returns the command an access to the target needs next, given
+// current bank state: CmdPrecharge for a row conflict, CmdActivate for a
+// closed bank, or the column command itself (read=true selects CmdRead).
+func (c *Channel) NextCommand(t Target, read bool) Cmd {
+	switch c.Classify(t) {
+	case RowConflict:
+		return CmdPrecharge
+	case RowEmpty:
+		return CmdActivate
+	default:
+		if read {
+			return CmdRead
+		}
+		return CmdWrite
+	}
+}
+
+// refreshBlocked reports whether commands to the rank are blocked by an
+// in-progress or pending refresh. Precharges stay allowed while a refresh
+// is pending so the rank can drain.
+func (c *Channel) refreshBlocked(rankIdx int, cmd Cmd) bool {
+	rk := &c.ranks[rankIdx]
+	if rk.refreshUntil > c.now {
+		return true
+	}
+	if c.T.TREFI > 0 && c.now >= rk.nextRefresh && cmd == CmdActivate {
+		return true
+	}
+	return false
+}
+
+// CanIssue reports whether the command is unblocked at the current cycle:
+// all bank, rank and bus timing constraints are met and the command slot is
+// free.
+func (c *Channel) CanIssue(cmd Cmd, t Target) bool {
+	if c.cmdThisCycle {
+		return false
+	}
+	if t.Rank < 0 || t.Rank >= len(c.ranks) || t.Bank < 0 || t.Bank >= len(c.ranks[t.Rank].banks) {
+		return false
+	}
+	if c.refreshBlocked(t.Rank, cmd) {
+		return false
+	}
+	rk := &c.ranks[t.Rank]
+	bk := &rk.banks[t.Bank]
+	now := c.now
+	switch cmd {
+	case CmdPrecharge:
+		return bk.open && now >= bk.nextPrecharge
+	case CmdActivate:
+		if bk.open || now < bk.nextActivate {
+			return false
+		}
+		if c.T.TRRD > 0 && rk.lastActivate > 0 && now+1 < rk.lastActivate+uint64(c.T.TRRD) {
+			return false
+		}
+		if c.T.TFAW > 0 {
+			oldest := rk.actWindow[rk.actIdx]
+			if oldest > 0 && now+1 < oldest+uint64(c.T.TFAW) {
+				return false
+			}
+		}
+		return true
+	case CmdRead:
+		if !bk.open || bk.row != t.Row || now < bk.nextRead {
+			return false
+		}
+		// Same-rank write-to-read turnaround (tWTR) is measured from
+		// the last write data beat to the read command.
+		if c.T.TWTR > 0 && rk.writeDataEnd > 0 && now < rk.writeDataEnd+uint64(c.T.TWTR) {
+			return false
+		}
+		return c.busAvailable(t.Rank, false, now+uint64(c.T.TCL))
+	case CmdWrite:
+		if !bk.open || bk.row != t.Row || now < bk.nextWrite {
+			return false
+		}
+		return c.busAvailable(t.Rank, true, now+uint64(c.T.TCWD))
+	}
+	return false
+}
+
+// busAvailable checks data-bus occupancy and turnaround gaps for a transfer
+// that would start at dataStart.
+func (c *Channel) busAvailable(rankIdx int, isWrite bool, dataStart uint64) bool {
+	if !c.busUsed {
+		return true
+	}
+	need := c.busBusyUntil
+	if rankIdx != c.busLastRank {
+		need += uint64(c.T.TRTRS)
+	} else if !c.busLastWrite && isWrite {
+		// read -> write on the same rank still turns the bus around
+		need += uint64(c.T.TRTW)
+	}
+	return dataStart >= need
+}
+
+// IssueResult describes the effect of an issued command.
+type IssueResult struct {
+	Cmd       Cmd
+	DataStart uint64 // first data-bus cycle (column commands only)
+	DataEnd   uint64 // first cycle after the last data beat
+	Outcome   RowOutcome
+}
+
+// Issue executes an unblocked command, updating all device state. It
+// panics if the command is blocked: the controller must gate on CanIssue.
+// For column commands, autoPrecharge closes the bank automatically after
+// the access (the Close Page Autoprecharge controller policy).
+func (c *Channel) Issue(cmd Cmd, t Target, autoPrecharge bool) IssueResult {
+	if !c.CanIssue(cmd, t) {
+		panic(fmt.Sprintf("dram: Issue of blocked command %v %+v at cycle %d", cmd, t, c.now))
+	}
+	c.cmdThisCycle = true
+	c.Stats.Commands++
+	rk := &c.ranks[t.Rank]
+	bk := &rk.banks[t.Bank]
+	now := c.now
+	res := IssueResult{Cmd: cmd, Outcome: c.Classify(t)}
+	switch cmd {
+	case CmdPrecharge:
+		c.issuePrecharge(t.Rank, t.Bank)
+	case CmdActivate:
+		c.Stats.Activates++
+		bk.open = true
+		bk.row = t.Row
+		bk.nextRead = now + uint64(c.T.TRCD)
+		bk.nextWrite = now + uint64(c.T.TRCD)
+		bk.nextPrecharge = maxU64(bk.nextPrecharge, now+uint64(c.T.TRAS))
+		bk.nextActivate = maxU64(bk.nextActivate, now+uint64(c.T.TRC))
+		rk.lastActivate = now + 1
+		if c.T.TFAW > 0 {
+			rk.actWindow[rk.actIdx] = now + 1
+			rk.actIdx = (rk.actIdx + 1) % len(rk.actWindow)
+		}
+	case CmdRead:
+		c.Stats.Reads++
+		res.DataStart = now + uint64(c.T.TCL)
+		res.DataEnd = res.DataStart + uint64(c.T.DataCycles())
+		c.occupyBus(t.Rank, false, res)
+		gap := uint64(c.T.DataCycles())
+		bk.nextRead = now + gap
+		bk.nextWrite = now + gap
+		bk.nextPrecharge = maxU64(bk.nextPrecharge, now+uint64(c.T.TRTP)+gap)
+		if autoPrecharge {
+			c.autoClose(t.Rank, t.Bank, bk.nextPrecharge)
+		}
+	case CmdWrite:
+		c.Stats.Writes++
+		res.DataStart = now + uint64(c.T.TCWD)
+		res.DataEnd = res.DataStart + uint64(c.T.DataCycles())
+		c.occupyBus(t.Rank, true, res)
+		rk.writeDataEnd = res.DataEnd
+		gap := uint64(c.T.DataCycles())
+		bk.nextRead = now + gap
+		bk.nextWrite = now + gap
+		bk.nextPrecharge = maxU64(bk.nextPrecharge, res.DataEnd+uint64(c.T.TWR))
+		if autoPrecharge {
+			c.autoClose(t.Rank, t.Bank, bk.nextPrecharge)
+		}
+	default:
+		panic(fmt.Sprintf("dram: cannot issue %v", cmd))
+	}
+	return res
+}
+
+// RecordOutcome counts an access-level row outcome for Figure 9 style
+// statistics. Controllers call this exactly once per access, with the
+// outcome observed when the access's first transaction issued (so a
+// preempting read that finds a bank precharged by an interrupted write is
+// counted as a row empty, as in the paper's Section 5.2).
+func (c *Channel) RecordOutcome(o RowOutcome) {
+	c.Stats.Outcomes[o]++
+}
+
+func (c *Channel) issuePrecharge(rankIdx, bankIdx int) {
+	bk := &c.ranks[rankIdx].banks[bankIdx]
+	c.Stats.Precharges++
+	bk.open = false
+	bk.nextActivate = maxU64(bk.nextActivate, c.now+uint64(c.T.TRP))
+}
+
+// autoClose models a column access with auto-precharge: the bank closes as
+// soon as its precharge constraint allows, without an explicit command.
+func (c *Channel) autoClose(rankIdx, bankIdx int, preAt uint64) {
+	bk := &c.ranks[rankIdx].banks[bankIdx]
+	bk.open = false
+	bk.nextActivate = maxU64(bk.nextActivate, preAt+uint64(c.T.TRP))
+}
+
+func (c *Channel) occupyBus(rankIdx int, isWrite bool, res IssueResult) {
+	c.busBusyUntil = res.DataEnd
+	c.busLastRank = rankIdx
+	c.busLastWrite = isWrite
+	c.busUsed = true
+	c.Stats.DataBusCycles += uint64(c.T.DataCycles())
+}
+
+// DataBusUtilization returns the fraction of cycles (0..1) the data bus was
+// transferring over an elapsed-cycle window.
+func (s Stats) DataBusUtilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(s.DataBusCycles) / float64(elapsed)
+}
+
+// AddressBusUtilization returns the fraction of cycles the command/address
+// bus carried a command.
+func (s Stats) AddressBusUtilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(s.Commands) / float64(elapsed)
+}
+
+// RowHitRate returns access-level {hit, empty, conflict} fractions.
+func (s Stats) RowHitRate() (hit, empty, conflict float64) {
+	total := s.Outcomes[RowHit] + s.Outcomes[RowEmpty] + s.Outcomes[RowConflict]
+	if total == 0 {
+		return 0, 0, 0
+	}
+	f := func(o RowOutcome) float64 { return float64(s.Outcomes[o]) / float64(total) }
+	return f(RowHit), f(RowEmpty), f(RowConflict)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

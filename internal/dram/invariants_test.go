@@ -1,0 +1,114 @@
+package dram
+
+import (
+	"testing"
+
+	"burstmem/internal/xrand"
+)
+
+// TestBusInvariantUnderRandomScheduling drives a channel with a random
+// (but legality-gated) command stream and asserts the physical invariants
+// the legality checks are supposed to guarantee:
+//
+//   - data-bus windows never overlap, and cross-rank back-to-back
+//     transfers keep at least tRTRS of separation;
+//   - a bank never activates while open, never precharges while closed;
+//   - reads/writes only target the open row.
+func TestBusInvariantUnderRandomScheduling(t *testing.T) {
+	tm := DDR2_800() // refresh enabled: the refresh engine participates
+	ch, err := NewChannel(tm, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1234)
+
+	type window struct {
+		start, end uint64
+		rank       int
+	}
+	var lastWin window
+	haveWin := false
+
+	openRow := map[[2]int]int64{} // (rank,bank) -> row or -1
+	for r := 0; r < 2; r++ {
+		for b := 0; b < 4; b++ {
+			openRow[[2]int{r, b}] = -1
+		}
+	}
+
+	for cyc := uint64(0); cyc < 50_000; cyc++ {
+		refreshUsed := ch.Tick(cyc)
+		// Refresh may close banks behind our back; resync our shadow
+		// state from the channel itself.
+		for rb := range openRow {
+			if row, open := ch.OpenRow(rb[0], rb[1]); open {
+				openRow[rb] = int64(row)
+			} else {
+				openRow[rb] = -1
+			}
+		}
+		if refreshUsed {
+			continue
+		}
+		// Try a few random commands; issue the first legal one.
+		for attempt := 0; attempt < 8; attempt++ {
+			cmd := Cmd(rng.Intn(4))
+			tg := Target{
+				Rank: rng.Intn(2),
+				Bank: rng.Intn(4),
+				Row:  uint32(rng.Intn(8)),
+				Col:  uint32(rng.Intn(16)),
+			}
+			// Column commands must target the open row to be legal;
+			// aim half of them correctly.
+			if (cmd == CmdRead || cmd == CmdWrite) && rng.Intn(2) == 0 {
+				if row := openRow[[2]int{tg.Rank, tg.Bank}]; row >= 0 {
+					tg.Row = uint32(row)
+				}
+			}
+			if !ch.CanIssue(cmd, tg) {
+				continue
+			}
+			rb := [2]int{tg.Rank, tg.Bank}
+			switch cmd {
+			case CmdActivate:
+				if openRow[rb] >= 0 {
+					t.Fatalf("cycle %d: activate on open bank %v", cyc, rb)
+				}
+			case CmdPrecharge:
+				if openRow[rb] < 0 {
+					t.Fatalf("cycle %d: precharge on closed bank %v", cyc, rb)
+				}
+			case CmdRead, CmdWrite:
+				if openRow[rb] != int64(tg.Row) {
+					t.Fatalf("cycle %d: column to row %d but open row is %d", cyc, tg.Row, openRow[rb])
+				}
+			}
+			res := ch.Issue(cmd, tg, false)
+			switch cmd {
+			case CmdActivate:
+				openRow[rb] = int64(tg.Row)
+			case CmdPrecharge:
+				openRow[rb] = -1
+			case CmdRead, CmdWrite:
+				w := window{start: res.DataStart, end: res.DataEnd, rank: tg.Rank}
+				if haveWin {
+					if w.start < lastWin.end {
+						t.Fatalf("cycle %d: data windows overlap: [%d,%d) then [%d,%d)",
+							cyc, lastWin.start, lastWin.end, w.start, w.end)
+					}
+					if w.rank != lastWin.rank && w.start < lastWin.end+uint64(tm.TRTRS) {
+						t.Fatalf("cycle %d: rank turnaround violated: gap %d < tRTRS %d",
+							cyc, w.start-lastWin.end, tm.TRTRS)
+					}
+				}
+				lastWin = w
+				haveWin = true
+			}
+			break
+		}
+	}
+	if ch.Stats.Reads == 0 || ch.Stats.Writes == 0 || ch.Stats.Refreshes == 0 {
+		t.Fatalf("soak did not exercise all command types: %+v", ch.Stats)
+	}
+}

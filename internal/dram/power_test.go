@@ -1,0 +1,100 @@
+package dram
+
+import (
+	"testing"
+)
+
+func TestPowerParamsValidate(t *testing.T) {
+	if err := DefaultPowerParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultPowerParams()
+	bad.ERead = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative coefficient accepted")
+	}
+}
+
+func TestPowerReportIdleChannel(t *testing.T) {
+	ch, err := NewChannel(noRefresh(DDR2_800()), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cyc := uint64(0); cyc < 1000; cyc++ {
+		ch.Tick(cyc)
+	}
+	rep, err := ch.PowerReport(DefaultPowerParams(), 1000, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ActivateEnergyNJ != 0 || rep.ReadEnergyNJ != 0 || rep.WriteEnergyNJ != 0 {
+		t.Fatalf("idle channel has command energy: %+v", rep)
+	}
+	// All background, all precharged: 2 ranks * 1000 cycles * 2.5ns * 0.30 W.
+	want := 2 * 1000 * 2.5e-9 * 0.30 * 1e9
+	if diff := rep.BackgroundEnergyNJ - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("background energy %v, want %v", rep.BackgroundEnergyNJ, want)
+	}
+	if rep.EnergyPerAccessNJ != 0 {
+		t.Fatal("energy per access nonzero with no accesses")
+	}
+}
+
+func TestPowerReportCountsCommands(t *testing.T) {
+	s := newStepper(t, noRefresh(DDR2_800()), 1, 2)
+	s.issue(CmdActivate, Target{Bank: 0, Row: 0}, false)
+	s.issue(CmdRead, Target{Bank: 0, Row: 0}, false)
+	s.issue(CmdWrite, Target{Bank: 0, Row: 0, Col: 1}, false)
+	p := DefaultPowerParams()
+	rep, err := s.ch.PowerReport(p, s.cyc, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ActivateEnergyNJ != p.EActivate || rep.ReadEnergyNJ != p.ERead || rep.WriteEnergyNJ != p.EWrite {
+		t.Fatalf("command energies wrong: %+v", rep)
+	}
+	if rep.EnergyPerAccessNJ <= 0 || rep.TotalEnergyNJ <= rep.ActivateEnergyNJ {
+		t.Fatalf("report totals: %+v", rep)
+	}
+	if rep.AveragePowerW <= 0 {
+		t.Fatal("zero average power")
+	}
+}
+
+// TestRowHitsSaveActivateEnergy: serving N accesses as row hits costs less
+// activate energy than as conflicts.
+func TestRowHitsSaveActivateEnergy(t *testing.T) {
+	run := func(rows []uint32) PowerReport {
+		s := newStepper(t, noRefresh(DDR2_800()), 1, 1)
+		for i, row := range rows {
+			s.access(Target{Row: row, Col: uint32(i)}, true, false)
+		}
+		rep, err := s.ch.PowerReport(DefaultPowerParams(), s.cyc, 400e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	hits := run([]uint32{0, 0, 0, 0})
+	conflicts := run([]uint32{0, 1, 0, 1})
+	if hits.ActivateEnergyNJ >= conflicts.ActivateEnergyNJ {
+		t.Fatalf("row hits did not save activate energy: %v vs %v",
+			hits.ActivateEnergyNJ, conflicts.ActivateEnergyNJ)
+	}
+	if hits.EnergyPerAccessNJ >= conflicts.EnergyPerAccessNJ {
+		t.Fatalf("row hits did not lower energy per access: %v vs %v",
+			hits.EnergyPerAccessNJ, conflicts.EnergyPerAccessNJ)
+	}
+}
+
+func TestPowerReportRejectsBadInputs(t *testing.T) {
+	ch, _ := NewChannel(noRefresh(DDR2_800()), 1, 1)
+	if _, err := ch.PowerReport(DefaultPowerParams(), 100, 0); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+	bad := DefaultPowerParams()
+	bad.PActiveStandby = -1
+	if _, err := ch.PowerReport(bad, 100, 400e6); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}

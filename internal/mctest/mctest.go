@@ -1,0 +1,105 @@
+// Package mctest provides shared helpers for controller-level tests: small
+// configurations, cycle-stepping runners and deterministic random streams.
+// It is used by the memctrl, core and sched test suites.
+package mctest
+
+import (
+	"fmt"
+
+	"burstmem/internal/addrmap"
+	"burstmem/internal/dram"
+	"burstmem/internal/memctrl"
+	"burstmem/internal/xrand"
+)
+
+// SmallGeometry is a compact organization for fast directed tests:
+// 1 channel, 1 rank, 4 banks, 64 rows, 32 lines per row.
+func SmallGeometry() addrmap.Geometry {
+	return addrmap.Geometry{
+		Channels:    1,
+		Ranks:       1,
+		Banks:       4,
+		Rows:        64,
+		ColumnLines: 32,
+		LineBytes:   64,
+	}
+}
+
+// SmallConfig returns a controller config using the given timing over the
+// small geometry, with a 64-entry pool capped at 16 writes.
+func SmallConfig(t dram.Timing) memctrl.Config {
+	cfg := memctrl.DefaultConfig()
+	cfg.Timing = t
+	cfg.Geometry = SmallGeometry()
+	cfg.PoolSize = 64
+	cfg.MaxWrites = 16
+	return cfg
+}
+
+// Runner steps a controller cycle by cycle and records completions.
+type Runner struct {
+	Ctrl *memctrl.Controller
+	Cyc  uint64
+
+	Completed []*memctrl.Access
+	DoneAt    map[uint64]uint64 // access ID -> completion cycle
+}
+
+// NewRunner builds a controller from cfg and factory and wraps it.
+func NewRunner(cfg memctrl.Config, factory memctrl.Factory) (*Runner, error) {
+	ctrl, err := memctrl.New(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{Ctrl: ctrl, DoneAt: make(map[uint64]uint64)}
+	ctrl.Tick(0)
+	return r, nil
+}
+
+// Submit issues an access at the current cycle. It fails the run (returns
+// error) if the pool rejects it.
+func (r *Runner) Submit(kind memctrl.Kind, addr uint64) (*memctrl.Access, error) {
+	a, ok := r.Ctrl.Submit(kind, addr, func(a *memctrl.Access, now uint64) {
+		r.Completed = append(r.Completed, a)
+		r.DoneAt[a.ID] = now
+	})
+	if !ok {
+		return nil, fmt.Errorf("mctest: pool rejected %v access at cycle %d", kind, r.Cyc)
+	}
+	return a, nil
+}
+
+// SubmitLoc issues an access to a DRAM coordinate.
+func (r *Runner) SubmitLoc(kind memctrl.Kind, loc addrmap.Loc) (*memctrl.Access, error) {
+	return r.Submit(kind, r.Ctrl.Mapper().Encode(loc))
+}
+
+// Step advances n cycles.
+func (r *Runner) Step(n int) {
+	for i := 0; i < n; i++ {
+		r.Cyc++
+		r.Ctrl.Tick(r.Cyc)
+	}
+}
+
+// RunUntilDrained steps until the controller is empty or maxCycles elapse.
+// It returns the cycle the last access completed, or an error on timeout.
+func (r *Runner) RunUntilDrained(maxCycles int) (uint64, error) {
+	for i := 0; i < maxCycles; i++ {
+		if r.Ctrl.Drained() {
+			var last uint64
+			for _, at := range r.DoneAt {
+				if at > last {
+					last = at
+				}
+			}
+			return last, nil
+		}
+		r.Step(1)
+	}
+	return 0, fmt.Errorf("mctest: controller not drained after %d cycles", maxCycles)
+}
+
+// NewRNG returns a deterministic generator (see package xrand) so
+// controller-level tests are reproducible.
+func NewRNG(seed uint64) *xrand.RNG { return xrand.New(seed) }

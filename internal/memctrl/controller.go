@@ -1,0 +1,431 @@
+package memctrl
+
+import (
+	"container/heap"
+	"fmt"
+
+	"burstmem/internal/addrmap"
+	"burstmem/internal/dram"
+	"burstmem/internal/stats"
+)
+
+// RowPolicy is the static controller page policy (paper Section 2).
+type RowPolicy int
+
+// Row policies: OpenPage leaves rows open after access; ClosePageAuto
+// precharges automatically after every column access.
+const (
+	OpenPage RowPolicy = iota
+	ClosePageAuto
+)
+
+// Config describes the memory controller (paper Table 3 defaults via
+// DefaultConfig).
+type Config struct {
+	Timing    dram.Timing
+	Geometry  addrmap.Geometry
+	Mapping   string // addrmap mapping name; "" = page interleaving
+	RowPolicy RowPolicy
+
+	// PoolSize is the shared access pool capacity; MaxWrites caps the
+	// write share of the pool (the write queue size).
+	PoolSize  int
+	MaxWrites int
+
+	// ForwardLatency is the controller-internal latency, in memory
+	// cycles, of returning write-queue data to a forwarded read.
+	ForwardLatency int
+	// NoForwarding disables write-queue RAW forwarding even for
+	// mechanisms that request it (ablation).
+	NoForwarding bool
+}
+
+// DefaultConfig returns the paper's Table 3 baseline: DDR2 PC2-6400 5-5-5,
+// 4 GB in 2 channels x 4 ranks x 4 banks, open page, page interleaving,
+// 256-entry pool with at most 64 writes.
+func DefaultConfig() Config {
+	return Config{
+		Timing:         dram.DDR2_800(),
+		Geometry:       addrmap.DefaultGeometry(),
+		Mapping:        "page-interleave",
+		RowPolicy:      OpenPage,
+		PoolSize:       256,
+		MaxWrites:      64,
+		ForwardLatency: 1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.PoolSize < 1 {
+		return fmt.Errorf("memctrl: pool size must be positive, got %d", c.PoolSize)
+	}
+	if c.MaxWrites < 1 || c.MaxWrites > c.PoolSize {
+		return fmt.Errorf("memctrl: max writes %d must be in [1, pool size %d]", c.MaxWrites, c.PoolSize)
+	}
+	if _, err := addrmap.ByName(c.Mapping, c.Geometry); err != nil {
+		return err
+	}
+	return nil
+}
+
+// latencyHistSize bounds the latency histograms (cycles; higher latencies
+// clamp into the last bucket).
+const latencyHistSize = 2048
+
+// CtrlStats aggregates controller-level statistics across channels.
+type CtrlStats struct {
+	ReadLatency  stats.Mean // arrival -> data returned, memory cycles
+	WriteLatency stats.Mean // arrival -> data drained, memory cycles
+
+	// ReadLatencyHist/WriteLatencyHist bucket latencies at cycle
+	// granularity for percentile reporting (tail latency is where
+	// scheduling fairness shows up).
+	ReadLatencyHist  *stats.Histogram
+	WriteLatencyHist *stats.Histogram
+
+	OutstandingReads  *stats.Histogram // sampled every memory cycle
+	OutstandingWrites *stats.Histogram
+
+	Cycles           uint64
+	WriteSatCycles   uint64 // cycles with the write queue at capacity
+	PoolFullCycles   uint64 // cycles with the whole pool at capacity
+	ForwardedReads   uint64
+	AcceptedReads    uint64
+	AcceptedWrites   uint64
+	RejectedRequests uint64 // Submit calls refused for lack of pool space
+	BytesTransferred uint64
+}
+
+// WriteSaturationRate returns the fraction of time the write queue was full
+// (paper Section 5.1).
+func (s *CtrlStats) WriteSaturationRate() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.WriteSatCycles) / float64(s.Cycles)
+}
+
+// completion is a pending access-finished event.
+type completion struct {
+	at     uint64
+	access *Access
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h completionHeap) peek() *completion  { return &h[0] }
+func (h completionHeap) empty() bool        { return len(h) == 0 }
+
+// Controller is the full memory controller: one Mechanism instance per
+// channel sharing a global access pool, plus statistics.
+type Controller struct {
+	cfg    Config
+	mapper addrmap.Mapper
+
+	channels []*dram.Channel
+	hosts    []*Host
+	mechs    []Mechanism
+
+	poolReads  int
+	poolWrites int
+
+	// pendingWriteLines maps line address -> newest pending write, per
+	// channel, for RAW forwarding.
+	pendingWriteLines []map[uint64]*Access
+
+	completions completionHeap
+	nextID      uint64
+	now         uint64
+
+	Stats CtrlStats
+}
+
+// New builds a controller whose channels each run a mechanism built by the
+// factory.
+func New(cfg Config, factory Factory) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mapper, err := addrmap.ByName(cfg.Mapping, cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, mapper: mapper}
+	c.Stats.OutstandingReads = stats.NewHistogram(cfg.PoolSize + 1)
+	c.Stats.OutstandingWrites = stats.NewHistogram(cfg.MaxWrites + 1)
+	c.Stats.ReadLatencyHist = stats.NewHistogram(latencyHistSize)
+	c.Stats.WriteLatencyHist = stats.NewHistogram(latencyHistSize)
+	for i := 0; i < cfg.Geometry.Channels; i++ {
+		ch, err := dram.NewChannel(cfg.Timing, cfg.Geometry.Ranks, cfg.Geometry.Banks)
+		if err != nil {
+			return nil, err
+		}
+		host := &Host{ctrl: c, chIdx: i, ch: ch}
+		c.channels = append(c.channels, ch)
+		c.hosts = append(c.hosts, host)
+		c.mechs = append(c.mechs, factory(host))
+		c.pendingWriteLines = append(c.pendingWriteLines, make(map[uint64]*Access))
+	}
+	return c, nil
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Mapper returns the address mapper in use.
+func (c *Controller) Mapper() addrmap.Mapper { return c.mapper }
+
+// Channel returns channel i's device model (for inspecting bus statistics).
+func (c *Controller) Channel(i int) *dram.Channel { return c.channels[i] }
+
+// Channels returns the channel count.
+func (c *Controller) Channels() int { return len(c.channels) }
+
+// MechanismName returns the name reported by the channel mechanisms.
+func (c *Controller) MechanismName() string { return c.mechs[0].Name() }
+
+// Mechanism returns channel i's mechanism instance (for inspecting
+// mechanism-specific statistics).
+func (c *Controller) Mechanism(i int) Mechanism { return c.mechs[i] }
+
+// CanAccept reports whether the pool can admit an access of the given kind.
+func (c *Controller) CanAccept(kind Kind) bool {
+	if c.poolReads+c.poolWrites >= c.cfg.PoolSize {
+		return false
+	}
+	if kind == KindWrite && c.poolWrites >= c.cfg.MaxWrites {
+		return false
+	}
+	return true
+}
+
+// OutstandingReads returns reads currently in the pool.
+func (c *Controller) OutstandingReads() int { return c.poolReads }
+
+// OutstandingWrites returns writes currently in the pool.
+func (c *Controller) OutstandingWrites() int { return c.poolWrites }
+
+// Submit admits an access. It returns the created access, or nil with
+// ok=false when the pool is full (back-pressure: the caller must retry).
+// Reads that hit a pending write are forwarded and complete after
+// ForwardLatency cycles without touching the device.
+func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uint64)) (*Access, bool) {
+	loc := c.mapper.Decode(addr)
+	a := &Access{
+		ID:         c.nextID,
+		Kind:       kind,
+		Addr:       addr,
+		Loc:        loc,
+		Arrival:    c.now,
+		OnComplete: onComplete,
+	}
+	chIdx := int(loc.Channel)
+	mech := c.mechs[chIdx]
+
+	if kind == KindRead && mech.ForwardsWrites() && !c.cfg.NoForwarding {
+		line := a.LineAddr(c.cfg.Geometry.LineBytes)
+		if _, hit := c.pendingWriteLines[chIdx][line]; hit {
+			// Paper Fig. 4: forward the latest write's data; the read
+			// completes immediately and never enters the queues.
+			c.nextID++
+			a.Forwarded = true
+			a.DataEnd = c.now + uint64(c.cfg.ForwardLatency)
+			c.Stats.ForwardedReads++
+			c.Stats.AcceptedReads++
+			heap.Push(&c.completions, completion{at: a.DataEnd, access: a})
+			return a, true
+		}
+	}
+
+	if !c.CanAccept(kind) {
+		c.Stats.RejectedRequests++
+		return nil, false
+	}
+	c.nextID++
+	if kind == KindRead {
+		c.poolReads++
+		c.Stats.AcceptedReads++
+	} else {
+		c.poolWrites++
+		c.Stats.AcceptedWrites++
+		line := a.LineAddr(c.cfg.Geometry.LineBytes)
+		c.pendingWriteLines[chIdx][line] = a
+	}
+	mech.Enqueue(a, c.now)
+	return a, true
+}
+
+// Tick advances the controller one memory cycle: completions fire, refresh
+// engines run, each channel's mechanism schedules, and occupancy statistics
+// sample.
+func (c *Controller) Tick(now uint64) {
+	c.now = now
+	for !c.completions.empty() && c.completions.peek().at <= now {
+		done := heap.Pop(&c.completions).(completion)
+		c.finish(done.access, done.at)
+	}
+	for i, ch := range c.channels {
+		ch.Tick(now)
+		c.mechs[i].Tick(now)
+	}
+	c.Stats.Cycles++
+	c.Stats.OutstandingReads.Add(c.poolReads)
+	c.Stats.OutstandingWrites.Add(c.poolWrites)
+	if c.poolWrites >= c.cfg.MaxWrites {
+		c.Stats.WriteSatCycles++
+	}
+	if c.poolReads+c.poolWrites >= c.cfg.PoolSize {
+		c.Stats.PoolFullCycles++
+	}
+}
+
+// finish retires a completed access: statistics, pool release, callback.
+func (c *Controller) finish(a *Access, at uint64) {
+	latency := at - a.Arrival
+	if a.Kind == KindRead {
+		c.Stats.ReadLatency.Add(latency)
+		c.Stats.ReadLatencyHist.Add(int(latency))
+		if !a.Forwarded {
+			c.poolReads--
+		}
+	} else {
+		c.Stats.WriteLatency.Add(latency)
+		c.Stats.WriteLatencyHist.Add(int(latency))
+		c.poolWrites--
+		chIdx := int(a.Loc.Channel)
+		line := a.LineAddr(c.cfg.Geometry.LineBytes)
+		if c.pendingWriteLines[chIdx][line] == a {
+			delete(c.pendingWriteLines[chIdx], line)
+		}
+	}
+	if !a.Forwarded {
+		c.Stats.BytesTransferred += uint64(c.cfg.Geometry.LineBytes)
+	}
+	if a.OnComplete != nil {
+		a.OnComplete(a, at)
+	}
+}
+
+// ResetStats zeroes all controller and channel statistics without touching
+// queue or device state, opening a measurement window after warmup.
+func (c *Controller) ResetStats() {
+	reads := c.Stats.OutstandingReads
+	writes := c.Stats.OutstandingWrites
+	rl := c.Stats.ReadLatencyHist
+	wl := c.Stats.WriteLatencyHist
+	reads.Reset()
+	writes.Reset()
+	rl.Reset()
+	wl.Reset()
+	c.Stats = CtrlStats{
+		OutstandingReads: reads, OutstandingWrites: writes,
+		ReadLatencyHist: rl, WriteLatencyHist: wl,
+	}
+	for _, ch := range c.channels {
+		ch.Stats = dram.Stats{}
+	}
+}
+
+// Drained reports whether all queues and in-flight completions are empty.
+func (c *Controller) Drained() bool {
+	return c.poolReads == 0 && c.poolWrites == 0 && c.completions.empty()
+}
+
+// BusUtilization aggregates data/address bus utilization across channels.
+func (c *Controller) BusUtilization() (data, address float64) {
+	if c.Stats.Cycles == 0 {
+		return 0, 0
+	}
+	for _, ch := range c.channels {
+		data += ch.Stats.DataBusUtilization(c.Stats.Cycles)
+		address += ch.Stats.AddressBusUtilization(c.Stats.Cycles)
+	}
+	n := float64(len(c.channels))
+	return data / n, address / n
+}
+
+// RowOutcomeRates aggregates access-level row outcome fractions across
+// channels.
+func (c *Controller) RowOutcomeRates() (hit, empty, conflict float64) {
+	var agg dram.Stats
+	for _, ch := range c.channels {
+		for i := range agg.Outcomes {
+			agg.Outcomes[i] += ch.Stats.Outcomes[i]
+		}
+	}
+	return agg.RowHitRate()
+}
+
+// EffectiveBandwidth returns achieved bandwidth in bytes per memory cycle.
+// Multiply by the memory clock to get bytes/second (paper Section 5.2
+// quotes GB/s at 400 MHz).
+func (c *Controller) EffectiveBandwidth() float64 {
+	if c.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Stats.BytesTransferred) / float64(c.Stats.Cycles)
+}
+
+// Host is a mechanism's view of the controller: its channel plus the
+// shared-state queries and completion plumbing mechanisms need.
+type Host struct {
+	ctrl  *Controller
+	chIdx int
+	ch    *dram.Channel
+}
+
+// Channel returns the host channel device.
+func (h *Host) Channel() *dram.Channel { return h.ch }
+
+// ChannelIndex returns which channel this mechanism drives.
+func (h *Host) ChannelIndex() int { return h.chIdx }
+
+// Config returns the controller configuration.
+func (h *Host) Config() Config { return h.ctrl.cfg }
+
+// GlobalWrites returns the controller-wide pending write count, the
+// occupancy the paper's threshold compares against.
+func (h *Host) GlobalWrites() int { return h.ctrl.poolWrites }
+
+// GlobalReads returns the controller-wide pending read count.
+func (h *Host) GlobalReads() int { return h.ctrl.poolReads }
+
+// WriteQueueFull reports whether the write queue is at capacity.
+func (h *Host) WriteQueueFull() bool { return h.ctrl.poolWrites >= h.ctrl.cfg.MaxWrites }
+
+// AutoPrecharge reports whether column accesses should auto-precharge
+// (Close Page Autoprecharge policy).
+func (h *Host) AutoPrecharge() bool { return h.ctrl.cfg.RowPolicy == ClosePageAuto }
+
+// StartAccess records that an access's first transaction is issuing now:
+// its start time and the row outcome it encountered. Safe to call on every
+// transaction; only the first records (so a preempted-then-restarted write
+// keeps its original outcome).
+func (h *Host) StartAccess(a *Access, now uint64) {
+	if a.started {
+		return
+	}
+	a.started = true
+	a.Start = now
+	a.Outcome = h.ch.Classify(a.Target())
+	h.ch.RecordOutcome(a.Outcome)
+}
+
+// CompleteAt schedules the access-finished event for the given cycle (the
+// access's data end).
+func (h *Host) CompleteAt(a *Access, dataEnd uint64) {
+	a.DataEnd = dataEnd
+	heap.Push(&h.ctrl.completions, completion{at: dataEnd, access: a})
+}

@@ -1,0 +1,108 @@
+package memctrl
+
+import (
+	"burstmem/internal/dram"
+)
+
+// Engine tracks each bank's ongoing access — the access whose transactions
+// are currently being scheduled (paper Section 3.2) — and steps accesses
+// through their precharge/activate/column transaction sequences against the
+// device state. Every mechanism reuses it; policies differ only in how they
+// pick ongoing accesses and order candidate transactions.
+type Engine struct {
+	host    *Host
+	ongoing [][]*Access // [rank][bank]
+	// onColumn runs after an access's column transaction issues, before
+	// the bank's ongoing slot clears.
+	onColumn func(a *Access, now uint64)
+	scratch  []Candidate
+}
+
+// NewEngine builds an engine for the host's channel.
+func NewEngine(host *Host, onColumn func(a *Access, now uint64)) *Engine {
+	e := &Engine{host: host, onColumn: onColumn}
+	ch := host.Channel()
+	e.ongoing = make([][]*Access, ch.Ranks())
+	for r := range e.ongoing {
+		e.ongoing[r] = make([]*Access, ch.Banks())
+	}
+	return e
+}
+
+// Ongoing returns the bank's ongoing access, or nil.
+func (e *Engine) Ongoing(rank, bank int) *Access { return e.ongoing[rank][bank] }
+
+// SetOngoing installs the bank's ongoing access.
+func (e *Engine) SetOngoing(rank, bank int, a *Access) { e.ongoing[rank][bank] = a }
+
+// ClearOngoing resets the bank's ongoing access (e.g. read preemption).
+func (e *Engine) ClearOngoing(rank, bank int) { e.ongoing[rank][bank] = nil }
+
+// ForEachBank visits every (rank, bank) pair in order.
+func (e *Engine) ForEachBank(f func(rank, bank int)) {
+	for r := range e.ongoing {
+		for b := range e.ongoing[r] {
+			f(r, b)
+		}
+	}
+}
+
+// Candidate is a bank's next transaction, with its unblocked status this
+// cycle.
+type Candidate struct {
+	Rank, Bank int
+	Access     *Access
+	Cmd        dram.Cmd
+	Unblocked  bool
+}
+
+// IsColumn reports whether the candidate transaction transfers data.
+func (c Candidate) IsColumn() bool { return c.Cmd == dram.CmdRead || c.Cmd == dram.CmdWrite }
+
+// Candidates returns the next transaction of every bank with an ongoing
+// access. Blocked transactions are included (Unblocked=false) so policies
+// that need "oldest access" context (paper Fig. 6 lines 14-15) can see
+// them. The returned slice is reused across calls.
+func (e *Engine) Candidates() []Candidate {
+	e.scratch = e.collectCandidates(e.scratch[:0])
+	return e.scratch
+}
+
+// collectCandidates fills dst with the per-bank next transactions.
+func (e *Engine) collectCandidates(dst []Candidate) []Candidate {
+	ch := e.host.Channel()
+	for r := range e.ongoing {
+		for b, a := range e.ongoing[r] {
+			if a == nil {
+				continue
+			}
+			cmd := ch.NextCommand(a.Target(), a.Kind == KindRead)
+			dst = append(dst, Candidate{
+				Rank:      r,
+				Bank:      b,
+				Access:    a,
+				Cmd:       cmd,
+				Unblocked: ch.CanIssue(cmd, a.Target()),
+			})
+		}
+	}
+	return dst
+}
+
+// Issue executes the candidate's transaction. For a column transaction the
+// access completes: the completion is scheduled at its data end, the
+// onColumn hook runs, and the bank's ongoing slot clears. Issue records the
+// access start/outcome on its first transaction.
+func (e *Engine) Issue(c Candidate, now uint64) {
+	ch := e.host.Channel()
+	a := c.Access
+	e.host.StartAccess(a, now)
+	res := ch.Issue(c.Cmd, a.Target(), c.IsColumn() && e.host.AutoPrecharge())
+	if c.IsColumn() {
+		e.host.CompleteAt(a, res.DataEnd)
+		if e.onColumn != nil {
+			e.onColumn(a, now)
+		}
+		e.ongoing[c.Rank][c.Bank] = nil
+	}
+}

@@ -1,0 +1,491 @@
+// Package sched implements the access scheduling mechanisms the paper
+// compares burst scheduling against (Table 4):
+//
+//   - BkInOrder: conventional bank in-order scheduling — accesses within a
+//     bank issue in arrival order, banks are served round robin.
+//   - RowHit: the row-hit-first policy of Rixner et al. (ISCA'00) — a
+//     unified queue per bank, oldest same-row access first, column
+//     transactions preferred on the busses. Reads and writes are treated
+//     equally.
+//   - Intel: Intel's patented out-of-order scheduling (US 7,127,574) —
+//     per-bank read queues and a single write queue, reads prioritized
+//     over writes, and a started access runs to completion at highest
+//     priority to limit the reordering degree.
+//   - Intel_RP: Intel scheduling plus read preemption (not in the patent;
+//     added by the paper for comparison).
+//
+// RowHit and Intel are "best effort" row-hit groupers: unlike burst
+// scheduling's Table 2 transaction priority, neither accounts for DDR2
+// rank-to-rank turnaround when picking among ready columns, so bubble
+// cycles appear on the data bus (paper Section 4.2).
+package sched
+
+import (
+	"burstmem/internal/memctrl"
+)
+
+// BkInOrder returns the conventional in-order baseline factory: accesses
+// within a bank issue strictly in arrival order, banks take round-robin
+// turns on the command bus, and transactions of different banks' accesses
+// pipeline (precharges and activates overlap other banks' data transfers).
+func BkInOrder() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism { return newBankInOrder(h, true) }
+}
+
+// InOrder returns the fully serial scheduler of paper Figure 1(a): one
+// access at a time, no transaction interleaving at all. It is not part of
+// the paper's Table 4 comparison (BkInOrder is the baseline there) but
+// quantifies how much of the baseline's performance comes from bank
+// pipelining alone — see the ablation benchmarks.
+func InOrder() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism { return newBankInOrder(h, false) }
+}
+
+// RowHit returns the row-hit-first mechanism factory.
+func RowHit() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism { return newRowHit(h) }
+}
+
+// Intel returns the patent mechanism factory.
+func Intel() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism { return newIntel(h, false) }
+}
+
+// IntelRP returns the patent mechanism with read preemption.
+func IntelRP() memctrl.Factory {
+	return func(h *memctrl.Host) memctrl.Mechanism { return newIntel(h, true) }
+}
+
+// bankInOrder: per-bank FIFO over reads and writes together; banks are
+// served round robin. With pipelining (the Table 4 BkInOrder baseline),
+// every bank may have an access in flight and their transactions
+// interleave round robin; without it (the Figure 1(a) InOrder reference),
+// a single access is serviced at a time with no overlap beyond the
+// precharge/activate of the next access starting under the current data
+// tail.
+type bankInOrder struct {
+	host      *memctrl.Host
+	engine    *memctrl.Engine
+	queues    [][][]*memctrl.Access // [rank][bank] FIFO
+	pipelined bool
+	rr        *roundRobin
+	rrNext    int // flattened bank index after the last served bank (serial mode)
+
+	current                     *memctrl.Access // serial mode: the single in-service access
+	curRank                     int
+	curBank                     int
+	pendingReads, pendingWrites int
+}
+
+func newBankInOrder(h *memctrl.Host, pipelined bool) *bankInOrder {
+	s := &bankInOrder{host: h, pipelined: pipelined}
+	s.engine = memctrl.NewEngine(h, s.onColumn)
+	ch := h.Channel()
+	s.queues = make([][][]*memctrl.Access, ch.Ranks())
+	for r := range s.queues {
+		s.queues[r] = make([][]*memctrl.Access, ch.Banks())
+	}
+	s.rr = newRoundRobin(ch.Ranks(), ch.Banks())
+	return s
+}
+
+// Name implements memctrl.Mechanism.
+func (s *bankInOrder) Name() string {
+	if s.pipelined {
+		return "BkInOrder"
+	}
+	return "InOrder"
+}
+
+// ForwardsWrites implements memctrl.Mechanism: strictly in-order per bank,
+// no bypassing, so no forwarding.
+func (s *bankInOrder) ForwardsWrites() bool { return false }
+
+// Pending implements memctrl.Mechanism.
+func (s *bankInOrder) Pending() (int, int) { return s.pendingReads, s.pendingWrites }
+
+// Enqueue implements memctrl.Mechanism.
+func (s *bankInOrder) Enqueue(a *memctrl.Access, now uint64) {
+	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
+	s.queues[r][b] = append(s.queues[r][b], a)
+	if a.Kind == memctrl.KindRead {
+		s.pendingReads++
+	} else {
+		s.pendingWrites++
+	}
+}
+
+func (s *bankInOrder) onColumn(a *memctrl.Access, now uint64) {
+	if a.Kind == memctrl.KindRead {
+		s.pendingReads--
+	} else {
+		s.pendingWrites--
+	}
+	s.current = nil
+}
+
+// Tick implements memctrl.Mechanism.
+func (s *bankInOrder) Tick(now uint64) {
+	ch := s.host.Channel()
+	if s.pipelined {
+		s.engine.ForEachBank(func(r, b int) {
+			if s.engine.Ongoing(r, b) == nil && len(s.queues[r][b]) > 0 {
+				s.engine.SetOngoing(r, b, s.queues[r][b][0])
+				s.queues[r][b] = s.queues[r][b][1:]
+			}
+		})
+		if ch.CommandSlotFree() {
+			s.rr.issue(s.engine, now)
+		}
+		return
+	}
+	if s.current == nil {
+		// Round-robin bank selection, FIFO within the bank.
+		banks := ch.Banks()
+		total := ch.Ranks() * banks
+		for i := 0; i < total; i++ {
+			idx := (s.rrNext + i) % total
+			r, b := idx/banks, idx%banks
+			if len(s.queues[r][b]) == 0 {
+				continue
+			}
+			s.current = s.queues[r][b][0]
+			s.queues[r][b] = s.queues[r][b][1:]
+			s.curRank, s.curBank = r, b
+			s.engine.SetOngoing(r, b, s.current)
+			s.rrNext = idx + 1
+			break
+		}
+		if s.current == nil {
+			return
+		}
+	}
+	if !ch.CommandSlotFree() {
+		return
+	}
+	for _, c := range s.engine.Candidates() {
+		if c.Rank == s.curRank && c.Bank == s.curBank && c.Unblocked {
+			s.engine.Issue(c, now)
+			return
+		}
+	}
+}
+
+// rowHit: unified per-bank queues; oldest row-hit access first, else oldest
+// access; column transactions take precedence on the busses.
+type rowHit struct {
+	host   *memctrl.Host
+	engine *memctrl.Engine
+	queues [][][]*memctrl.Access
+
+	pendingReads, pendingWrites int
+}
+
+func newRowHit(h *memctrl.Host) *rowHit {
+	s := &rowHit{host: h}
+	s.engine = memctrl.NewEngine(h, s.onColumn)
+	ch := h.Channel()
+	s.queues = make([][][]*memctrl.Access, ch.Ranks())
+	for r := range s.queues {
+		s.queues[r] = make([][]*memctrl.Access, ch.Banks())
+	}
+	return s
+}
+
+// Name implements memctrl.Mechanism.
+func (s *rowHit) Name() string { return "RowHit" }
+
+// ForwardsWrites implements memctrl.Mechanism. RowHit treats reads and
+// writes equally in one queue; same-line accesses are same-row, and the
+// oldest-first row-hit rule preserves their order, so no forwarding is
+// needed for correctness and none is modeled (matching Rixner's design).
+func (s *rowHit) ForwardsWrites() bool { return false }
+
+// Pending implements memctrl.Mechanism.
+func (s *rowHit) Pending() (int, int) { return s.pendingReads, s.pendingWrites }
+
+// Enqueue implements memctrl.Mechanism.
+func (s *rowHit) Enqueue(a *memctrl.Access, now uint64) {
+	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
+	s.queues[r][b] = append(s.queues[r][b], a)
+	if a.Kind == memctrl.KindRead {
+		s.pendingReads++
+	} else {
+		s.pendingWrites++
+	}
+}
+
+func (s *rowHit) onColumn(a *memctrl.Access, now uint64) {
+	if a.Kind == memctrl.KindRead {
+		s.pendingReads--
+	} else {
+		s.pendingWrites--
+	}
+}
+
+// Tick implements memctrl.Mechanism. Transaction selection follows
+// Rixner's column/precharge/activate manager precedence: among unblocked
+// transactions, column accesses go first (oldest first, round-robin across
+// banks at equal age), then precharges and activates — keeping the data
+// bus busy while row operations overlap underneath.
+func (s *rowHit) Tick(now uint64) {
+	ch := s.host.Channel()
+	s.engine.ForEachBank(func(r, b int) {
+		if s.engine.Ongoing(r, b) != nil || len(s.queues[r][b]) == 0 {
+			return
+		}
+		q := s.queues[r][b]
+		pick := 0
+		if row, open := ch.OpenRow(r, b); open {
+			for i, a := range q {
+				if a.Loc.Row == row {
+					pick = i
+					break
+				}
+			}
+		}
+		s.engine.SetOngoing(r, b, q[pick])
+		s.queues[r][b] = append(q[:pick], q[pick+1:]...)
+	})
+	if !ch.CommandSlotFree() {
+		return
+	}
+	cands := s.engine.Candidates()
+	best := -1
+	for i, c := range cands {
+		if !c.Unblocked {
+			continue
+		}
+		if best < 0 || betterColFirst(c, cands[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		s.engine.Issue(cands[best], now)
+	}
+}
+
+// betterColFirst orders candidates: column transactions beat row
+// transactions; oldest access breaks ties.
+func betterColFirst(a, b memctrl.Candidate) bool {
+	if a.IsColumn() != b.IsColumn() {
+		return a.IsColumn()
+	}
+	return a.Access.Arrival < b.Access.Arrival
+}
+
+// intel: per-bank read queues (row-hit read first, else oldest), one write
+// queue (held as per-bank FIFOs with a global occupancy view). Writes run
+// only when the channel has no reads at all or the write queue is full. A
+// started access has the highest transaction priority.
+type intel struct {
+	host       *memctrl.Host
+	engine     *memctrl.Engine
+	reads      [][][]*memctrl.Access
+	writes     [][][]*memctrl.Access
+	preemption bool
+
+	pendingReads, pendingWrites int
+	ongoingIsWrite              [][]bool
+}
+
+func newIntel(h *memctrl.Host, preemption bool) *intel {
+	s := &intel{host: h, preemption: preemption}
+	s.engine = memctrl.NewEngine(h, s.onColumn)
+	ch := h.Channel()
+	s.reads = make([][][]*memctrl.Access, ch.Ranks())
+	s.writes = make([][][]*memctrl.Access, ch.Ranks())
+	s.ongoingIsWrite = make([][]bool, ch.Ranks())
+	for r := range s.reads {
+		s.reads[r] = make([][]*memctrl.Access, ch.Banks())
+		s.writes[r] = make([][]*memctrl.Access, ch.Banks())
+		s.ongoingIsWrite[r] = make([]bool, ch.Banks())
+	}
+	return s
+}
+
+// Name implements memctrl.Mechanism.
+func (s *intel) Name() string {
+	if s.preemption {
+		return "Intel_RP"
+	}
+	return "Intel"
+}
+
+// ForwardsWrites implements memctrl.Mechanism: reads bypass the write
+// queue, so matching reads must be satisfied from it.
+func (s *intel) ForwardsWrites() bool { return true }
+
+// Pending implements memctrl.Mechanism.
+func (s *intel) Pending() (int, int) { return s.pendingReads, s.pendingWrites }
+
+// Enqueue implements memctrl.Mechanism.
+func (s *intel) Enqueue(a *memctrl.Access, now uint64) {
+	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
+	if a.Kind == memctrl.KindRead {
+		s.reads[r][b] = append(s.reads[r][b], a)
+		s.pendingReads++
+	} else {
+		s.writes[r][b] = append(s.writes[r][b], a)
+		s.pendingWrites++
+	}
+}
+
+func (s *intel) onColumn(a *memctrl.Access, now uint64) {
+	if a.Kind == memctrl.KindRead {
+		s.pendingReads--
+	} else {
+		s.pendingWrites--
+	}
+}
+
+// Tick implements memctrl.Mechanism.
+func (s *intel) Tick(now uint64) {
+	ch := s.host.Channel()
+	s.engine.ForEachBank(func(r, b int) { s.arbitrate(r, b) })
+	if !ch.CommandSlotFree() {
+		return
+	}
+	// Transaction selection: started accesses first (oldest first), then
+	// unstarted (oldest first). No bus-timing awareness — the "best
+	// effort" behaviour the paper contrasts with Table 2.
+	cands := s.engine.Candidates()
+	best := -1
+	for i, c := range cands {
+		if !c.Unblocked {
+			continue
+		}
+		if best < 0 || betterIntel(c, cands[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		s.engine.Issue(cands[best], now)
+	}
+}
+
+func betterIntel(a, b memctrl.Candidate) bool {
+	if a.Access.Started() != b.Access.Started() {
+		return a.Access.Started()
+	}
+	return a.Access.Arrival < b.Access.Arrival
+}
+
+func (s *intel) arbitrate(r, b int) {
+	ongoing := s.engine.Ongoing(r, b)
+	if ongoing == nil {
+		switch {
+		case s.host.WriteQueueFull() && len(s.writes[r][b]) > 0:
+			// Drain the oldest write that no queued read still wants
+			// (WAR guard; younger same-line reads were forwarded).
+			if idx := s.oldestSafeWrite(r, b); idx >= 0 {
+				s.installWriteAt(r, b, idx)
+			} else if len(s.reads[r][b]) > 0 {
+				// Every write is behind a queued read; drain reads.
+				s.installRead(r, b)
+			}
+		case len(s.reads[r][b]) > 0:
+			s.installRead(r, b)
+		case len(s.writes[r][b]) > 0 && s.pendingReads == 0:
+			// Writes are postponed until the channel has no reads
+			// at all (minimizing read latency, per the patent).
+			s.installWrite(r, b)
+		}
+		return
+	}
+	if s.preemption && s.ongoingIsWrite[r][b] && len(s.reads[r][b]) > 0 && !s.host.WriteQueueFull() {
+		// Read preemption: push the write back and start the read.
+		s.engine.ClearOngoing(r, b)
+		s.writes[r][b] = append([]*memctrl.Access{ongoing}, s.writes[r][b]...)
+		s.installRead(r, b)
+	}
+}
+
+// installRead picks the oldest row-hit read if the bank row is open, else
+// the oldest read.
+func (s *intel) installRead(r, b int) {
+	q := s.reads[r][b]
+	pick := 0
+	if row, open := s.host.Channel().OpenRow(r, b); open {
+		for i, a := range q {
+			if a.Loc.Row == row {
+				pick = i
+				break
+			}
+		}
+	}
+	s.engine.SetOngoing(r, b, q[pick])
+	s.reads[r][b] = append(q[:pick], q[pick+1:]...)
+	s.ongoingIsWrite[r][b] = false
+}
+
+func (s *intel) installWrite(r, b int) { s.installWriteAt(r, b, 0) }
+
+func (s *intel) installWriteAt(r, b, idx int) {
+	q := s.writes[r][b]
+	s.engine.SetOngoing(r, b, q[idx])
+	s.writes[r][b] = append(q[:idx], q[idx+1:]...)
+	s.ongoingIsWrite[r][b] = true
+}
+
+// oldestSafeWrite returns the oldest write index whose line no queued read
+// targets, or -1.
+func (s *intel) oldestSafeWrite(r, b int) int {
+	lineBytes := s.host.Config().Geometry.LineBytes
+	for i, w := range s.writes[r][b] {
+		line := w.LineAddr(lineBytes)
+		hazard := false
+		for _, rd := range s.reads[r][b] {
+			if rd.LineAddr(lineBytes) == line {
+				hazard = true
+				break
+			}
+		}
+		if !hazard {
+			return i
+		}
+	}
+	return -1
+}
+
+// roundRobin issues one unblocked transaction per cycle, visiting banks in
+// rotating order so every bank gets an equal share of the command bus.
+type roundRobin struct {
+	ranks, banks int
+	next         int
+	byBank       []int // scratch: flattened bank index -> candidate index+1
+}
+
+func newRoundRobin(ranks, banks int) *roundRobin {
+	return &roundRobin{ranks: ranks, banks: banks, byBank: make([]int, ranks*banks)}
+}
+
+func (rr *roundRobin) issue(e *memctrl.Engine, now uint64) {
+	total := rr.ranks * rr.banks
+	cands := e.Candidates()
+	if len(cands) == 0 {
+		return
+	}
+	for i := range rr.byBank {
+		rr.byBank[i] = 0
+	}
+	for i, c := range cands {
+		if c.Unblocked {
+			rr.byBank[c.Rank*rr.banks+c.Bank] = i + 1
+		}
+	}
+	for i := 0; i < total; i++ {
+		idx := (rr.next + i) % total
+		if ci := rr.byBank[idx]; ci != 0 {
+			e.Issue(cands[ci-1], now)
+			rr.next = idx + 1
+			return
+		}
+	}
+}
+
+var (
+	_ memctrl.Mechanism = (*bankInOrder)(nil)
+	_ memctrl.Mechanism = (*rowHit)(nil)
+	_ memctrl.Mechanism = (*intel)(nil)
+)

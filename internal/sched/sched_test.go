@@ -1,0 +1,341 @@
+package sched
+
+import (
+	"testing"
+
+	"burstmem/internal/addrmap"
+	"burstmem/internal/dram"
+	"burstmem/internal/mctest"
+	"burstmem/internal/memctrl"
+)
+
+func noRefresh(t dram.Timing) dram.Timing {
+	t.TREFI = 0
+	return t
+}
+
+func cfg() memctrl.Config { return mctest.SmallConfig(noRefresh(dram.DDR2_800())) }
+
+// TestBkInOrderStrictPerBank: accesses to one bank complete in arrival
+// order even when reordering would help.
+func TestBkInOrderStrictPerBank(t *testing.T) {
+	r, err := mctest.NewRunner(cfg(), BkInOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved rows: in-order makes every access a conflict.
+	var accs []*memctrl.Access
+	rows := []uint32{1, 2, 1, 2}
+	for i, row := range rows {
+		a, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: row, Col: uint32(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs = append(accs, a)
+	}
+	if _, err := r.RunUntilDrained(10000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(accs); i++ {
+		if r.DoneAt[accs[i].ID] <= r.DoneAt[accs[i-1].ID] {
+			t.Fatalf("access %d (done %d) overtook access %d (done %d)",
+				i, r.DoneAt[accs[i].ID], i-1, r.DoneAt[accs[i-1].ID])
+		}
+	}
+	// Accesses 2 and 3 must be row conflicts (no reordering).
+	if accs[2].Outcome != dram.RowConflict || accs[3].Outcome != dram.RowConflict {
+		t.Errorf("outcomes %v/%v, want conflicts under in-order scheduling",
+			accs[2].Outcome, accs[3].Outcome)
+	}
+}
+
+// TestBkInOrderBankParallelism: accesses to different banks overlap.
+func TestBkInOrderBankParallelism(t *testing.T) {
+	run := func(banks []int) uint64 {
+		r, err := mctest.NewRunner(cfg(), BkInOrder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range banks {
+			if _, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: uint8(b), Row: uint32(1 + i), Col: 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		end, err := r.RunUntilDrained(10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	sameBank := run([]int{0, 0, 0, 0})
+	diffBank := run([]int{0, 1, 2, 3})
+	if diffBank >= sameBank {
+		t.Fatalf("bank-parallel run (%d cycles) not faster than single-bank run (%d cycles)",
+			diffBank, sameBank)
+	}
+}
+
+// TestRowHitFirst: RowHit reorders a younger same-row access ahead of an
+// older conflicting access.
+func TestRowHitFirst(t *testing.T) {
+	r, err := mctest.NewRunner(cfg(), RowHit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open row 1.
+	first, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 1, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 2, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 1, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunUntilDrained(10000); err != nil {
+		t.Fatal(err)
+	}
+	if r.DoneAt[hit.ID] >= r.DoneAt[conflict.ID] {
+		t.Fatalf("row-hit access (done %d) not reordered before conflict (done %d)",
+			r.DoneAt[hit.ID], r.DoneAt[conflict.ID])
+	}
+	if hit.Outcome != dram.RowHit {
+		t.Errorf("outcome %v, want row hit", hit.Outcome)
+	}
+	_ = first
+}
+
+// TestRowHitTreatsWritesEqually: a row-hit write is selected ahead of an
+// older row-conflict read (reads get no special priority under RowHit).
+func TestRowHitTreatsWritesEqually(t *testing.T) {
+	r, err := mctest.NewRunner(cfg(), RowHit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 1, Col: 0}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 2, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := r.SubmitLoc(memctrl.KindWrite, addrmap.Loc{Bank: 0, Row: 1, Col: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunUntilDrained(10000); err != nil {
+		t.Fatal(err)
+	}
+	if r.DoneAt[wr.ID] >= r.DoneAt[rd.ID] {
+		t.Fatalf("row-hit write (done %d) not selected before conflicting read (done %d)",
+			r.DoneAt[wr.ID], r.DoneAt[rd.ID])
+	}
+}
+
+// TestIntelPostponesWrites: writes wait while any reads are pending in the
+// channel, even reads to other banks.
+func TestIntelPostponesWrites(t *testing.T) {
+	r, err := mctest.NewRunner(cfg(), Intel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := r.SubmitLoc(memctrl.KindWrite, addrmap.Loc{Bank: 0, Row: 1, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads []*memctrl.Access
+	for i := 0; i < 3; i++ {
+		a, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: uint8(1 + i), Row: 2, Col: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads = append(reads, a)
+	}
+	if _, err := r.RunUntilDrained(10000); err != nil {
+		t.Fatal(err)
+	}
+	for i, rd := range reads {
+		if r.DoneAt[rd.ID] >= r.DoneAt[wr.ID] {
+			t.Fatalf("read %d (done %d) did not beat the older write (done %d)",
+				i, r.DoneAt[rd.ID], r.DoneAt[wr.ID])
+		}
+	}
+}
+
+// TestIntelWriteQueueFullDrains: when the write queue saturates, writes run
+// even with reads pending.
+func TestIntelWriteQueueFullDrains(t *testing.T) {
+	c := cfg()
+	c.MaxWrites = 4
+	r, err := mctest.NewRunner(c, Intel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := r.SubmitLoc(memctrl.KindWrite, addrmap.Loc{Bank: 0, Row: uint32(1 + i), Col: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Ctrl.CanAccept(memctrl.KindRead) {
+		t.Fatal("pool should still accept reads")
+	}
+	if r.Ctrl.CanAccept(memctrl.KindWrite) {
+		t.Fatal("write queue should be saturated")
+	}
+	// A stream of reads to another bank; the full write queue must still
+	// drain (not starve forever).
+	for i := 0; i < 4; i++ {
+		if _, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 1, Row: 2, Col: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.RunUntilDrained(20000); err != nil {
+		t.Fatal(err)
+	}
+	if r.Ctrl.OutstandingWrites() != 0 {
+		t.Fatal("writes not drained")
+	}
+}
+
+// TestIntelRowHitReadSelection: Intel searches its read queues for row
+// hits.
+func TestIntelRowHitReadSelection(t *testing.T) {
+	r, err := mctest.NewRunner(cfg(), Intel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 1, Col: 0}); err != nil {
+		t.Fatal(err)
+	}
+	conflict, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 2, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 1, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunUntilDrained(10000); err != nil {
+		t.Fatal(err)
+	}
+	if r.DoneAt[hit.ID] >= r.DoneAt[conflict.ID] {
+		t.Fatalf("Intel did not pick the row-hit read first (%d vs %d)",
+			r.DoneAt[hit.ID], r.DoneAt[conflict.ID])
+	}
+}
+
+// TestIntelRPPreempts: Intel_RP lets a read interrupt an ongoing write;
+// plain Intel does not.
+func TestIntelRPPreempts(t *testing.T) {
+	run := func(factory memctrl.Factory) (readDone, writeDone uint64) {
+		r, err := mctest.NewRunner(cfg(), factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := r.SubmitLoc(memctrl.KindWrite, addrmap.Loc{Bank: 0, Row: 1, Col: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Step(3) // write becomes ongoing, activate in flight
+		rd, err := r.SubmitLoc(memctrl.KindRead, addrmap.Loc{Bank: 0, Row: 2, Col: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunUntilDrained(10000); err != nil {
+			t.Fatal(err)
+		}
+		return r.DoneAt[rd.ID], r.DoneAt[wr.ID]
+	}
+	rpRead, rpWrite := run(IntelRP())
+	if rpRead >= rpWrite {
+		t.Fatalf("Intel_RP: read (done %d) did not preempt the write (done %d)", rpRead, rpWrite)
+	}
+	plainRead, _ := run(Intel())
+	if rpRead >= plainRead {
+		t.Fatalf("preemption did not reduce read latency (%d vs %d)", rpRead, plainRead)
+	}
+}
+
+// TestNames checks Table 4 naming.
+func TestNames(t *testing.T) {
+	for _, tc := range []struct {
+		f    memctrl.Factory
+		want string
+	}{
+		{BkInOrder(), "BkInOrder"},
+		{RowHit(), "RowHit"},
+		{Intel(), "Intel"},
+		{IntelRP(), "Intel_RP"},
+	} {
+		r, err := mctest.NewRunner(cfg(), tc.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Ctrl.MechanismName(); got != tc.want {
+			t.Errorf("name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestAllMechanismsDrainRandomStream is a cross-mechanism soak test: a
+// deterministic random mix of reads and writes must drain completely with
+// every access completing exactly once, for every mechanism.
+func TestAllMechanismsDrainRandomStream(t *testing.T) {
+	factories := map[string]memctrl.Factory{
+		"BkInOrder": BkInOrder(),
+		"RowHit":    RowHit(),
+		"Intel":     Intel(),
+		"Intel_RP":  IntelRP(),
+	}
+	for name, f := range factories {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			c := cfg()
+			c.Timing = dram.DDR2_800() // refresh enabled: soak the refresh engine too
+			r, err := mctest.NewRunner(c, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := mctest.NewRNG(42)
+			submitted := 0
+			for i := 0; i < 3000; i++ {
+				r.Step(1)
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				kind := memctrl.KindRead
+				if rng.Intn(4) == 0 {
+					kind = memctrl.KindWrite
+				}
+				loc := addrmap.Loc{
+					Bank: uint8(rng.Intn(4)),
+					Row:  uint32(rng.Intn(8)),
+					Col:  uint32(rng.Intn(32)),
+				}
+				if !r.Ctrl.CanAccept(kind) {
+					continue
+				}
+				if _, err := r.SubmitLoc(kind, loc); err != nil {
+					t.Fatal(err)
+				}
+				submitted++
+			}
+			if _, err := r.RunUntilDrained(200000); err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Completed) != submitted {
+				t.Fatalf("completed %d of %d accesses", len(r.Completed), submitted)
+			}
+			seen := map[uint64]bool{}
+			for _, a := range r.Completed {
+				if seen[a.ID] {
+					t.Fatalf("access %d completed twice", a.ID)
+				}
+				seen[a.ID] = true
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace-file support: users who have real program traces (e.g. from a
+// binary-instrumentation tool) can run them instead of the synthetic
+// profiles. The format is line-oriented text:
+//
+//	# comment
+//	L <hex-or-dec address>     load
+//	LD <address>               load dependent on the previous load
+//	S <address>                store
+//	N <count>                  <count> non-memory instructions
+//
+// A trace replays in a loop, so short traces still drive long simulations
+// (document the loop length when reporting results from looped traces).
+
+// TraceGenerator replays a parsed op sequence cyclically.
+type TraceGenerator struct {
+	name string
+	ops  []Op
+	pos  int
+}
+
+// ParseTrace reads the text trace format. It returns an error with the
+// offending line number for malformed input.
+func ParseTrace(name string, r io.Reader) (*TraceGenerator, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace %s:%d: want `OP value`, got %q", name, lineNo, line)
+		}
+		op := strings.ToUpper(fields[0])
+		switch op {
+		case "L", "LD", "S":
+			addr, err := parseAddr(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace %s:%d: %v", name, lineNo, err)
+			}
+			t := OpLoad
+			if op == "S" {
+				t = OpStore
+			}
+			ops = append(ops, Op{Type: t, Addr: addr, DepOnPrevLoad: op == "LD"})
+		case "N":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("trace %s:%d: bad count %q", name, lineNo, fields[1])
+			}
+			for i := 0; i < n; i++ {
+				ops = append(ops, Op{Type: OpNonMem})
+			}
+		default:
+			return nil, fmt.Errorf("trace %s:%d: unknown op %q", name, lineNo, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace %s: %v", name, err)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("trace %s: empty", name)
+	}
+	return &TraceGenerator{name: name, ops: ops}, nil
+}
+
+// Name implements Generator.
+func (t *TraceGenerator) Name() string { return t.name }
+
+// Next implements Generator, replaying the trace cyclically.
+func (t *TraceGenerator) Next() Op {
+	op := t.ops[t.pos]
+	t.pos++
+	if t.pos == len(t.ops) {
+		t.pos = 0
+	}
+	return op
+}
+
+// Len returns the trace length in ops (one loop).
+func (t *TraceGenerator) Len() int { return len(t.ops) }
+
+func parseAddr(s string) (uint64, error) {
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		s, base = s[2:], 16
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return v, nil
+}
+
+// WriteTrace serializes ops from a generator into the trace format —
+// the inverse of ParseTrace, used by tracegen -record to snapshot a
+// synthetic profile into an editable file. Consecutive non-memory ops are
+// run-length encoded.
+func WriteTrace(w io.Writer, gen Generator, n int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# burstmem trace: %s (%d ops)\n", gen.Name(), n); err != nil {
+		return err
+	}
+	nonMem := 0
+	flush := func() error {
+		if nonMem == 0 {
+			return nil
+		}
+		_, err := fmt.Fprintf(bw, "N %d\n", nonMem)
+		nonMem = 0
+		return err
+	}
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		switch op.Type {
+		case OpNonMem:
+			nonMem++
+		case OpLoad:
+			if err := flush(); err != nil {
+				return err
+			}
+			mn := "L"
+			if op.DepOnPrevLoad {
+				mn = "LD"
+			}
+			if _, err := fmt.Fprintf(bw, "%s 0x%x\n", mn, op.Addr); err != nil {
+				return err
+			}
+		case OpStore:
+			if err := flush(); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw, "S 0x%x\n", op.Addr); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTrace(t *testing.T) {
+	src := `# a tiny trace
+L 0x1000
+LD 0x2000
+S 4096
+N 3
+L 0x1008
+`
+	g, err := ParseTrace("tiny", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 7 {
+		t.Fatalf("len %d, want 7 (3 mem + 3 nonmem + 1 mem)", g.Len())
+	}
+	want := []Op{
+		{Type: OpLoad, Addr: 0x1000},
+		{Type: OpLoad, Addr: 0x2000, DepOnPrevLoad: true},
+		{Type: OpStore, Addr: 4096},
+		{Type: OpNonMem},
+		{Type: OpNonMem},
+		{Type: OpNonMem},
+		{Type: OpLoad, Addr: 0x1008},
+	}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("op %d = %+v, want %+v", i, got, w)
+		}
+	}
+	// Cyclic replay.
+	if got := g.Next(); got != want[0] {
+		t.Fatalf("trace did not loop: %+v", got)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"X 0x10",       // unknown op
+		"L",            // missing operand
+		"L zz",         // bad address
+		"N -1",         // bad count
+		"L 0x10 extra", // too many fields
+		"N notanumber", // bad count
+	}
+	for _, src := range cases {
+		if _, err := ParseTrace("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("trace %q accepted", src)
+		}
+	}
+}
+
+// TestTraceRoundTrip: WriteTrace then ParseTrace reproduces the stream.
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ByName("gcc")
+	src := MustNew(p)
+	var buf bytes.Buffer
+	const n = 5000
+	if err := WriteTrace(&buf, src, n); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace("roundtrip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != n {
+		t.Fatalf("round-trip length %d, want %d", parsed.Len(), n)
+	}
+	ref := MustNew(p)
+	for i := 0; i < n; i++ {
+		if got, want := parsed.Next(), ref.Next(); got != want {
+			t.Fatalf("op %d = %+v, want %+v", i, got, want)
+		}
+	}
+}

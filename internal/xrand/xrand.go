@@ -1,0 +1,52 @@
+// Package xrand provides a tiny deterministic xorshift64* pseudo-random
+// generator. Every stochastic choice in the simulator flows through a
+// seeded instance of this generator, so identical configurations always
+// produce identical simulations — a property the experiment harness and the
+// regression tests rely on.
+package xrand
+
+// RNG is an xorshift64* generator. The zero value is not valid; use New.
+type RNG struct{ s uint64 }
+
+// New seeds a generator. Seed 0 is remapped to a fixed nonzero constant
+// (xorshift state must never be zero).
+func New(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniformly distributed value in [0, n); 0 when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed value in [0, n); 0 when n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

@@ -1,0 +1,90 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	f := func(n uint16) bool {
+		v := r.Intn(int(n))
+		if n == 0 {
+			return v == 0
+		}
+		return v >= 0 && v < int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(4)
+	f := func(n uint32) bool {
+		v := r.Uint64n(uint64(n))
+		if n == 0 {
+			return v == 0
+		}
+		return v < uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(6)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.28 || got > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %v", got)
+	}
+}
+
+// TestUniformity: a rough chi-squared style check over 16 buckets.
+func TestUniformity(t *testing.T) {
+	r := New(8)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	for i, c := range buckets {
+		if c < n/16*9/10 || c > n/16*11/10 {
+			t.Fatalf("bucket %d count %d far from expected %d", i, c, n/16)
+		}
+	}
+}
