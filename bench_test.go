@@ -364,6 +364,49 @@ func BenchmarkAblationAddressMapping(b *testing.B) {
 	}
 }
 
+// BenchmarkSimThroughput measures simulator performance itself: simulated
+// memory cycles per wall-clock second on full-machine runs, across a
+// memory-intensive streaming profile (swim), a pointer-chasing profile
+// (mcf) and a compute-leaning profile (gcc). Run with -benchmem to also
+// see steady-state allocation behaviour; scripts/bench.sh records the
+// results as BENCH_sim.json so perf regressions are visible across PRs.
+func BenchmarkSimThroughput(b *testing.B) {
+	cases := []struct{ bench, mech string }{
+		{"swim", "Burst_TH"},
+		{"swim", "BkInOrder"},
+		{"mcf", "Burst_TH"},
+		{"gcc", "Burst_TH"},
+	}
+	for _, tc := range cases {
+		b.Run(tc.bench+"/"+tc.mech, func(b *testing.B) {
+			prof, err := workload.ByName(tc.bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			factory, err := sim.MechanismByName(tc.mech)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := benchConfig()
+			var simulated uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, err := sim.NewSystem(cfg, prof, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				target := cfg.WarmupInstructions + cfg.Instructions
+				for sys.MinRetired() < target {
+					sys.FastForward()
+				}
+				simulated += sys.MemCycle()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(simulated)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
+}
+
 // BenchmarkControllerThroughput is a microbenchmark of the controller fast
 // path: cycles simulated per second under saturation (useful when
 // optimizing the simulator itself).

@@ -32,6 +32,7 @@ import (
 	"burstmem/internal/addrmap"
 	"burstmem/internal/dram"
 	"burstmem/internal/memctrl"
+	"burstmem/internal/profiling"
 	"burstmem/internal/sim"
 	"burstmem/internal/stats"
 	"burstmem/internal/workload"
@@ -44,10 +45,13 @@ var (
 	flagParallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 	flagBench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
 	flagCSV      = flag.String("csv", "", "directory to also write each experiment's tables as CSV")
+	flagCPUProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flagMemProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
 
 func main() {
 	flag.Parse()
+	defer profiling.Start(*flagCPUProf, *flagMemProf)()
 	benches := workload.Names()
 	if *flagBench != "" {
 		benches = strings.Split(*flagBench, ",")
@@ -141,6 +145,24 @@ func (h *harness) matrix(benches, mechs []string) map[job]sim.Result {
 	}
 	h.mu.Unlock()
 	return out
+}
+
+// parallelDo runs f(0..n-1) across a worker pool bounded by -parallel.
+// Each job writes its own result slot, so callers aggregate and print in
+// deterministic order regardless of completion order.
+func parallelDo(n int, f func(i int)) {
+	sem := make(chan struct{}, max(1, *flagParallel))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
 }
 
 func (h *harness) runOne(bench, mech string) sim.Result {
@@ -487,27 +509,34 @@ func (h *harness) scaling() {
 		{"DDR3-1600 (8-8-8)", dram.DDR3_1600()},
 	}
 	benches := []string{"swim", "gcc", "mcf"}
+	mechs := []string{"BkInOrder", "Burst_TH"}
+	// Run the whole generation×benchmark×mechanism grid in parallel, one
+	// slot per job, then aggregate in order.
+	results := make([]sim.Result, len(gens)*len(benches)*len(mechs))
+	parallelDo(len(results), func(i int) {
+		g := gens[i/(len(benches)*len(mechs))]
+		bench := benches[i/len(mechs)%len(benches)]
+		mech := mechs[i%len(mechs)]
+		prof, err := workload.ByName(bench)
+		fatal(err)
+		cfg := simConfig()
+		cfg.Mem.Timing = g.timing
+		factory, err := sim.MechanismByName(mech)
+		fatal(err)
+		res, err := sim.Run(cfg, prof, factory)
+		fatal(err)
+		results[i] = res
+	})
 	t := stats.NewTable("generation", "BkInOrder IPC", "Burst_TH IPC", "Burst_TH/BkInOrder exec")
-	for _, g := range gens {
+	for gi, g := range gens {
 		var baseCycles, burstCycles, baseIPC, burstIPC float64
-		for _, bench := range benches {
-			prof, err := workload.ByName(bench)
-			fatal(err)
-			for _, mech := range []string{"BkInOrder", "Burst_TH"} {
-				cfg := simConfig()
-				cfg.Mem.Timing = g.timing
-				factory, err := sim.MechanismByName(mech)
-				fatal(err)
-				res, err := sim.Run(cfg, prof, factory)
-				fatal(err)
-				if mech == "BkInOrder" {
-					baseCycles += float64(res.CPUCycles)
-					baseIPC += res.IPC
-				} else {
-					burstCycles += float64(res.CPUCycles)
-					burstIPC += res.IPC
-				}
-			}
+		for bi := range benches {
+			base := results[(gi*len(benches)+bi)*len(mechs)]
+			burst := results[(gi*len(benches)+bi)*len(mechs)+1]
+			baseCycles += float64(base.CPUCycles)
+			baseIPC += base.IPC
+			burstCycles += float64(burst.CPUCycles)
+			burstIPC += burst.IPC
 		}
 		n := float64(len(benches))
 		t.AddRow(g.name, baseIPC/n, burstIPC/n, fmt.Sprintf("%.3f", burstCycles/baseCycles))
@@ -522,29 +551,34 @@ func (h *harness) scaling() {
 // valuable.
 func (h *harness) cmp() {
 	header("Section 6: scheduling benefit vs core count (CMP)")
+	coreCounts := []int{1, 2, 4}
+	mechs := []string{"BkInOrder", "Burst_TH"}
+	results := make([]sim.Result, len(coreCounts)*len(mechs))
+	parallelDo(len(results), func(i int) {
+		cores := coreCounts[i/len(mechs)]
+		mech := mechs[i%len(mechs)]
+		prof, err := workload.ByName("gcc")
+		fatal(err)
+		cfg := simConfig()
+		cfg.Cores = cores
+		// Keep total simulated work roughly constant.
+		cfg.Instructions = *flagN / uint64(cores)
+		cfg.WarmupInstructions = *flagWarmup / uint64(cores)
+		// A CMP scales its on-chip interconnect with cores; without
+		// this the shared FSB saturates and hides the memory
+		// controller entirely.
+		cfg.FSB.DataCycles = maxInt(1, cfg.FSB.DataCycles/cores)
+		cfg.FSB.QueueDepth *= cores
+		factory, err := sim.MechanismByName(mech)
+		fatal(err)
+		res, err := sim.Run(cfg, prof, factory)
+		fatal(err)
+		results[i] = res
+	})
 	t := stats.NewTable("cores", "BkInOrder IPC", "Burst_TH IPC", "Burst_TH/BkInOrder exec", "mean out reads (Burst_TH)")
-	for _, cores := range []int{1, 2, 4} {
-		run := func(mech string) sim.Result {
-			prof, err := workload.ByName("gcc")
-			fatal(err)
-			cfg := simConfig()
-			cfg.Cores = cores
-			// Keep total simulated work roughly constant.
-			cfg.Instructions = *flagN / uint64(cores)
-			cfg.WarmupInstructions = *flagWarmup / uint64(cores)
-			// A CMP scales its on-chip interconnect with cores; without
-			// this the shared FSB saturates and hides the memory
-			// controller entirely.
-			cfg.FSB.DataCycles = maxInt(1, cfg.FSB.DataCycles/cores)
-			cfg.FSB.QueueDepth *= cores
-			factory, err := sim.MechanismByName(mech)
-			fatal(err)
-			res, err := sim.Run(cfg, prof, factory)
-			fatal(err)
-			return res
-		}
-		base := run("BkInOrder")
-		burst := run("Burst_TH")
+	for ci, cores := range coreCounts {
+		base := results[ci*len(mechs)]
+		burst := results[ci*len(mechs)+1]
 		t.AddRow(fmt.Sprintf("%d", cores), base.IPC, burst.IPC,
 			fmt.Sprintf("%.3f", float64(burst.CPUCycles)/float64(base.CPUCycles)),
 			burst.OutstandingReads.Mean())

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"burstmem/internal/profiling"
 	"burstmem/internal/sim"
 	"burstmem/internal/stats"
 	"burstmem/internal/workload"
@@ -37,8 +38,11 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 		thresholds = flag.String("thresholds", "0,8,16,24,32,40,48,52,56,60,64",
 			"comma-separated thresholds (0 = Burst_WP, write-queue size = Burst_RP)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	defer profiling.Start(*cpuprofile, *memprofile)()
 
 	benches := strings.Split(*benchFlag, ",")
 	if *all {

@@ -15,6 +15,7 @@ package bus
 import (
 	"fmt"
 
+	"burstmem/internal/deque"
 	"burstmem/internal/memctrl"
 )
 
@@ -76,11 +77,18 @@ type FSB struct {
 	cfg  Config
 	ctrl *memctrl.Controller
 
-	reqQ  []request
-	respQ []response
+	reqQ  deque.Deque[request]
+	respQ deque.Deque[response]
+
+	// inflight maps a submitted read's access ID to its upstream response
+	// callback; completeFn is the single controller completion callback
+	// shared by every submission, so the submit path allocates nothing.
+	inflight   map[uint64]func()
+	completeFn func(*memctrl.Access, uint64)
 
 	memNow      uint64
 	nextReqFree uint64
+	poolBlocked bool // last Tick left the head request stalled on pool space
 
 	Stats Stats
 }
@@ -90,7 +98,21 @@ func New(cfg Config, ctrl *memctrl.Controller) (*FSB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &FSB{cfg: cfg, ctrl: ctrl}, nil
+	f := &FSB{cfg: cfg, ctrl: ctrl, inflight: make(map[uint64]func())}
+	f.completeFn = f.complete
+	return f, nil
+}
+
+// complete is the controller's completion callback for reads submitted by
+// this FSB. Completion times from the controller are nondecreasing within
+// a run, so the response queue stays sorted.
+func (f *FSB) complete(a *memctrl.Access, at uint64) {
+	done, ok := f.inflight[a.ID]
+	if !ok {
+		return
+	}
+	delete(f.inflight, a.ID)
+	f.respQ.PushBack(response{at: at + uint64(f.cfg.RespLatency), done: done})
 }
 
 // ReadLine implements cache.Backend: an L2 miss requesting a line from
@@ -105,7 +127,7 @@ func (f *FSB) WriteLine(addr uint64) bool {
 }
 
 func (f *FSB) enqueue(kind memctrl.Kind, addr uint64, done func()) bool {
-	if len(f.reqQ) >= f.cfg.QueueDepth {
+	if f.reqQ.Len() >= f.cfg.QueueDepth {
 		f.Stats.Rejected++
 		return false
 	}
@@ -119,7 +141,7 @@ func (f *FSB) enqueue(kind memctrl.Kind, addr uint64, done func()) bool {
 	}
 	f.nextReqFree = start + occupancy
 	f.Stats.ReqBusyCycles += occupancy
-	f.reqQ = append(f.reqQ, request{
+	f.reqQ.PushBack(request{
 		kind:    kind,
 		addr:    addr,
 		readyAt: start + uint64(f.cfg.ReqLatency),
@@ -138,39 +160,81 @@ func (f *FSB) enqueue(kind memctrl.Kind, addr uint64, done func()) bool {
 // blocks the head).
 func (f *FSB) Tick(memNow uint64) {
 	f.memNow = memNow
-	for len(f.respQ) > 0 && f.respQ[0].at <= memNow {
-		done := f.respQ[0].done
-		f.respQ = f.respQ[1:]
+	f.poolBlocked = false
+	for f.respQ.Len() > 0 && f.respQ.Front().at <= memNow {
+		done := f.respQ.PopFront().done
 		if done != nil {
 			done()
 		}
 	}
-	for len(f.reqQ) > 0 && f.reqQ[0].readyAt <= memNow {
-		r := f.reqQ[0]
+	for f.reqQ.Len() > 0 && f.reqQ.Front().readyAt <= memNow {
+		r := f.reqQ.Front()
 		if !f.ctrl.CanAccept(r.kind) {
 			f.Stats.PoolStalled++
+			f.poolBlocked = true
 			return
 		}
-		done := r.done
-		_, ok := f.ctrl.Submit(r.kind, r.addr, func(a *memctrl.Access, at uint64) {
-			if done == nil {
-				return
-			}
-			// Response flight back to the L2. Completion times from
-			// the controller are nondecreasing within a run, so the
-			// response queue stays sorted.
-			f.respQ = append(f.respQ, response{at: at + uint64(f.cfg.RespLatency), done: done})
-		})
+		var onComplete func(*memctrl.Access, uint64)
+		if r.done != nil {
+			onComplete = f.completeFn
+		}
+		a, ok := f.ctrl.Submit(r.kind, r.addr, onComplete)
 		if !ok {
 			f.Stats.PoolStalled++
+			f.poolBlocked = true
 			return
 		}
-		f.reqQ = f.reqQ[1:]
+		if r.done != nil {
+			f.inflight[a.ID] = r.done
+		}
+		f.reqQ.PopFront()
 	}
 }
 
+// NoEvent mirrors memctrl.NoEvent: no internally scheduled FSB event.
+const NoEvent = ^uint64(0)
+
+// NextEventCycle returns the earliest future memory cycle at which the FSB
+// will act on its own (deliver a response or hand over a newly arrived
+// request), or NoEvent. A pool-blocked head request contributes no event:
+// it unblocks only on a controller completion, which the controller's own
+// event hint covers. Anything already due but not yet processed this cycle
+// (possible only in zero-latency configurations) forces now+1.
+func (f *FSB) NextEventCycle(now uint64) uint64 {
+	next := NoEvent
+	if f.respQ.Len() > 0 {
+		if at := f.respQ.Front().at; at <= now {
+			return now + 1
+		} else {
+			next = at
+		}
+	}
+	if f.reqQ.Len() > 0 {
+		if at := f.reqQ.Front().readyAt; at <= now {
+			if !f.poolBlocked {
+				return now + 1
+			}
+		} else if at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// AccountSkipped folds k skipped idle memory cycles into the statistics:
+// the only counter a no-op Tick would have bumped is the pool-stall count
+// for a head request held back by controller pool exhaustion (pool
+// occupancy cannot change during a skip, so each skipped cycle would have
+// re-tried and re-counted the stall).
+func (f *FSB) AccountSkipped(k uint64) {
+	if f.poolBlocked {
+		f.Stats.PoolStalled += k
+	}
+	f.memNow += k
+}
+
 // Busy reports in-flight FSB work.
-func (f *FSB) Busy() bool { return len(f.reqQ) > 0 || len(f.respQ) > 0 }
+func (f *FSB) Busy() bool { return f.reqQ.Len() > 0 || f.respQ.Len() > 0 }
 
 // ResetStats zeroes the statistics counters.
 func (f *FSB) ResetStats() { f.Stats = Stats{} }

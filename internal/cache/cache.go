@@ -13,6 +13,8 @@ package cache
 
 import (
 	"fmt"
+
+	"burstmem/internal/deque"
 )
 
 // Backend is the next level below a cache.
@@ -158,6 +160,11 @@ type mshr struct {
 	isWrite bool // whether any merged request was a store (fill dirty)
 	waiters []func()
 	issued  bool // request accepted by the backend
+	// fillFn is the completion callback handed to the backend. It is built
+	// once per pooled mshr object and reused across occupancies: at most
+	// one fill per object is ever in flight (the object returns to the
+	// pool only after its fill fires), so the binding stays unambiguous.
+	fillFn func()
 }
 
 // Cache is one cache level.
@@ -169,13 +176,14 @@ type Cache struct {
 	setMask uint64
 	offBits uint
 
-	mshrs map[uint64]*mshr
-	mshrQ []*mshr // MSHRs not yet issued to the backend
-	wbQ   []uint64
-	tick  uint64 // LRU touch counter
+	mshrs    map[uint64]*mshr
+	mshrFree []*mshr            // recycled mshr objects
+	mshrQ    deque.Deque[*mshr] // MSHRs not yet issued to the backend
+	wbQ      deque.Deque[uint64]
+	tick     uint64 // LRU touch counter
 
-	now    uint64     // cycle counter, advanced by Tick
-	delayQ []deferred // latency-deferred callbacks, FIFO (constant delay)
+	now    uint64                // cycle counter, advanced by Tick
+	delayQ deque.Deque[deferred] // latency-deferred callbacks, FIFO (constant delay)
 
 	Stats Stats
 }
@@ -193,7 +201,24 @@ func (c *Cache) deferResponse(fn func()) {
 		fn()
 		return
 	}
-	c.delayQ = append(c.delayQ, deferred{at: c.now + uint64(c.cfg.LatencyCycles), fn: fn})
+	c.delayQ.PushBack(deferred{at: c.now + uint64(c.cfg.LatencyCycles), fn: fn})
+}
+
+// acquireMSHR pops a recycled mshr or builds a new one with its prebuilt
+// fill callback.
+func (c *Cache) acquireMSHR(la uint64, isWrite bool) *mshr {
+	var m *mshr
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+	} else {
+		m = &mshr{}
+		m.fillFn = func() { c.fill(m) }
+	}
+	m.addr = la
+	m.isWrite = isWrite
+	m.issued = false
+	return m
 }
 
 // New builds a cache over the given backend.
@@ -260,17 +285,17 @@ func (c *Cache) Access(addr uint64, isWrite bool, done func()) Result {
 		c.Stats.Coalesced++
 		return MissMerged
 	}
-	if len(c.mshrs) >= c.cfg.MSHRs || len(c.wbQ) >= c.cfg.WritebackBuf {
+	if len(c.mshrs) >= c.cfg.MSHRs || c.wbQ.Len() >= c.cfg.WritebackBuf {
 		// No MSHR, or fills might have nowhere to push victims.
 		c.Stats.Blocked++
 		return Blocked
 	}
-	m := &mshr{addr: la, isWrite: isWrite}
+	m := c.acquireMSHR(la, isWrite)
 	if done != nil {
 		m.waiters = append(m.waiters, done)
 	}
 	c.mshrs[la] = m
-	c.mshrQ = append(c.mshrQ, m)
+	c.mshrQ.PushBack(m)
 	c.Stats.Misses++
 	return Miss
 }
@@ -303,35 +328,32 @@ func (c *Cache) Probe(addr uint64) bool {
 // writeback queue drains.
 func (c *Cache) Tick() {
 	c.now++
-	for len(c.delayQ) > 0 && c.delayQ[0].at <= c.now {
-		fn := c.delayQ[0].fn
-		c.delayQ = c.delayQ[1:]
-		fn()
+	for c.delayQ.Len() > 0 && c.delayQ.Front().at <= c.now {
+		c.delayQ.PopFront().fn()
 	}
 	// Issue pending miss requests.
-	for len(c.mshrQ) > 0 {
-		m := c.mshrQ[0]
-		la := m.addr
-		if !c.backend.ReadLine(la, func() { c.fill(la) }) {
+	for c.mshrQ.Len() > 0 {
+		m := *c.mshrQ.Front()
+		if !c.backend.ReadLine(m.addr, m.fillFn) {
 			break
 		}
 		m.issued = true
-		c.mshrQ = c.mshrQ[1:]
+		c.mshrQ.PopFront()
 	}
 	// Drain writebacks.
-	for len(c.wbQ) > 0 {
-		if !c.backend.WriteLine(c.wbQ[0]) {
+	for c.wbQ.Len() > 0 {
+		if !c.backend.WriteLine(*c.wbQ.Front()) {
 			break
 		}
-		c.wbQ = c.wbQ[1:]
+		c.wbQ.PopFront()
 		c.Stats.Writebacks++
 	}
 }
 
 // fill installs a returned line, evicting the LRU way (queueing the victim
-// if dirty), and wakes all coalesced waiters.
-func (c *Cache) fill(la uint64) {
-	m := c.mshrs[la]
+// if dirty), and wakes all coalesced waiters. The mshr returns to the pool.
+func (c *Cache) fill(m *mshr) {
+	la := m.addr
 	delete(c.mshrs, la)
 	set, tag := c.index(la)
 	victim := 0
@@ -349,7 +371,7 @@ func (c *Cache) fill(la uint64) {
 	if v.valid {
 		c.Stats.Evictions++
 		if v.dirty {
-			c.wbQ = append(c.wbQ, v.tag<<c.offBits)
+			c.wbQ.PushBack(v.tag << c.offBits)
 		}
 	} else if c.cfg.WarmStart {
 		// Synthesize the steady-state resident this way would hold: the
@@ -358,30 +380,41 @@ func (c *Cache) fill(la uint64) {
 		c.Stats.Evictions++
 		resident := (tag ^ uint64(len(c.sets)*c.cfg.Ways)) << c.offBits
 		if int((resident*0x9E3779B97F4A7C15)>>32%100) < c.cfg.WarmDirtyPercent {
-			c.wbQ = append(c.wbQ, resident)
+			c.wbQ.PushBack(resident)
 		}
 	}
 	c.tick++
-	*v = line{tag: tag, valid: true, dirty: m != nil && m.isWrite, lru: c.tick}
-	if m != nil {
-		for _, w := range m.waiters {
-			c.deferResponse(w)
-		}
+	*v = line{tag: tag, valid: true, dirty: m.isWrite, lru: c.tick}
+	for _, w := range m.waiters {
+		c.deferResponse(w)
 	}
+	m.waiters = m.waiters[:0]
+	c.mshrFree = append(c.mshrFree, m)
 }
+
+// SkipEligible reports whether Tick is a guaranteed no-op until external
+// input arrives: no latency-deferred responses, no unissued miss requests,
+// no queued writebacks. MSHRs already issued to the backend don't block a
+// skip — their fills arrive via the backend's callback, not via Tick.
+func (c *Cache) SkipEligible() bool {
+	return c.delayQ.Len() == 0 && c.mshrQ.Len() == 0 && c.wbQ.Len() == 0
+}
+
+// SkipCycles advances the cycle counter over n skipped no-op cycles.
+func (c *Cache) SkipCycles(n uint64) { c.now += n }
 
 // OutstandingMisses returns the number of allocated MSHRs.
 func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
 
 // PendingWritebacks returns queued dirty evictions.
-func (c *Cache) PendingWritebacks() int { return len(c.wbQ) }
+func (c *Cache) PendingWritebacks() int { return c.wbQ.Len() }
 
 // ResetStats zeroes the statistics counters.
 func (c *Cache) ResetStats() { c.Stats = Stats{} }
 
 // Busy reports whether the cache still has in-flight work.
 func (c *Cache) Busy() bool {
-	return len(c.mshrs) > 0 || len(c.wbQ) > 0 || len(c.mshrQ) > 0 || len(c.delayQ) > 0
+	return len(c.mshrs) > 0 || c.wbQ.Len() > 0 || c.mshrQ.Len() > 0 || c.delayQ.Len() > 0
 }
 
 // AsBackend adapts this cache as the backend of an upper level: upper-level

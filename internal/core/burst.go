@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"burstmem/internal/dram"
 	"burstmem/internal/memctrl"
@@ -130,17 +131,19 @@ func BurstTH(threshold int) memctrl.Factory {
 }
 
 // burstGroup is a cluster of reads to one row of one bank. All accesses
-// after the first are guaranteed row hits.
+// after the first are guaranteed row hits. Groups are pooled on the
+// scheduler's free list, and the reads ride an intrusive list, so burst
+// formation allocates nothing in steady state.
 type burstGroup struct {
 	row     uint32
 	arrival uint64 // arrival of the first access, for inter-burst ordering
-	reads   []*memctrl.Access
+	reads   memctrl.AccessList
 }
 
-// bankState holds one bank's queues and piggyback context.
+// bankState holds one bank's burst queue and piggyback context (writes
+// live in the scheduler-wide memctrl.BankQueues).
 type bankState struct {
-	bursts []*burstGroup     // FIFO by first-access arrival
-	writes []*memctrl.Access // FIFO by arrival
+	bursts []*burstGroup // FIFO by first-access arrival
 
 	// endOfBurst marks the piggyback window: the last column issued on
 	// this bank finished a burst (or was itself a piggybacked write) to
@@ -174,7 +177,11 @@ type burstSched struct {
 	host   *memctrl.Host
 	engine *memctrl.Engine
 
-	banks [][]*bankState // [rank][bank]
+	banks    [][]*bankState      // [rank][bank]
+	writes   *memctrl.BankQueues // per-bank write FIFOs + nonempty bitmaps
+	burstsNE []uint64            // per-rank banks-with-bursts bitmaps
+
+	freeGroups []*burstGroup // burstGroup pool
 
 	pendingReads  int
 	pendingWrites int
@@ -217,7 +224,25 @@ func newBurst(h *memctrl.Host, name string, opt Options) *burstSched {
 			s.banks[r][b] = &bankState{activeRow: -1}
 		}
 	}
+	s.writes = memctrl.NewBankQueues(ch.Ranks(), ch.Banks())
+	s.burstsNE = make([]uint64, ch.Ranks())
 	return s
+}
+
+// acquireGroup pops a pooled burst group (or allocates one) and starts it
+// with its first read.
+func (s *burstSched) acquireGroup(row uint32, arrival uint64, first *memctrl.Access) *burstGroup {
+	var bg *burstGroup
+	if n := len(s.freeGroups); n > 0 {
+		bg = s.freeGroups[n-1]
+		s.freeGroups = s.freeGroups[:n-1]
+	} else {
+		bg = &burstGroup{}
+	}
+	bg.row = row
+	bg.arrival = arrival
+	bg.reads.PushBack(first)
+	return bg
 }
 
 // Name implements memctrl.Mechanism.
@@ -236,30 +261,32 @@ func (s *burstSched) Pending() (reads, writes int) { return s.pendingReads, s.pe
 // burst at the tail of the bank's burst queue. Writes append to the bank's
 // write queue in order.
 func (s *burstSched) Enqueue(a *memctrl.Access, now uint64) {
-	st := s.bank(int(a.Loc.Rank), int(a.Loc.Bank))
+	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
+	st := s.bank(r, b)
 	if a.Kind == memctrl.KindWrite {
-		st.writes = append(st.writes, a)
+		s.writes.PushBack(a)
 		s.pendingWrites++
 		s.intervalWrites++
 		return
 	}
 	s.pendingReads++
 	s.intervalReads++
-	if s.opt.ReadPreemption && st.ongoingIsWrite && s.engine.Ongoing(int(a.Loc.Rank), int(a.Loc.Bank)) != nil &&
+	if s.opt.ReadPreemption && st.ongoingIsWrite && s.engine.Ongoing(r, b) != nil &&
 		s.host.GlobalWrites() < s.opt.Threshold {
 		st.preemptPending = true
 	}
 	for _, bg := range st.bursts {
 		if bg.row == a.Loc.Row {
-			bg.reads = append(bg.reads, a)
+			bg.reads.PushBack(a)
 			s.Stats.ReadsJoinedBursts++
-			if n := len(bg.reads); n > s.Stats.MaxBurstLen {
+			if n := bg.reads.Len(); n > s.Stats.MaxBurstLen {
 				s.Stats.MaxBurstLen = n
 			}
 			return
 		}
 	}
-	st.bursts = append(st.bursts, &burstGroup{row: a.Loc.Row, arrival: now, reads: []*memctrl.Access{a}})
+	st.bursts = append(st.bursts, s.acquireGroup(a.Loc.Row, now, a))
+	s.burstsNE[r] |= 1 << uint(b)
 	s.Stats.BurstsFormed++
 	if s.Stats.MaxBurstLen == 0 {
 		s.Stats.MaxBurstLen = 1
@@ -274,74 +301,115 @@ func (s *burstSched) Tick(now uint64) {
 	if s.dynamic {
 		s.adaptThreshold(now)
 	}
-	s.engine.ForEachBank(func(r, b int) { s.arbitrate(r, b, now) })
+	for r := range s.burstsNE {
+		// Snapshot the occupied mask before installing: each bank gets
+		// exactly one arbitration visit per tick (vacant banks with
+		// queued work install, occupied banks check preemption), matching
+		// the single arbitrate(r, b) call per bank of the scan-based
+		// arbiter. A bank installed this pass is not preempt-checked the
+		// same tick, and its preemptPending (if any) lingers — exactly as
+		// when the scan found it vacant.
+		occ := s.engine.OccupiedMask(r)
+		for m := (s.burstsNE[r] | s.writes.Mask(r)) &^ occ; m != 0; m &= m - 1 {
+			s.arbitrateVacant(r, bits.TrailingZeros64(m), now)
+		}
+		if s.opt.ReadPreemption {
+			for m := occ; m != 0; m &= m - 1 {
+				s.arbitrateOngoing(r, bits.TrailingZeros64(m), now)
+			}
+		}
+	}
 	if s.host.Channel().CommandSlotFree() {
 		s.schedule(now)
 	}
 }
 
-// arbitrate is the bank arbiter subroutine (paper Fig. 5).
-func (s *burstSched) arbitrate(rank, bank int, now uint64) {
-	st := s.bank(rank, bank)
-	ongoing := s.engine.Ongoing(rank, bank)
-	occupancy := s.host.GlobalWrites()
+var _ memctrl.EventHinter = (*burstSched)(nil)
 
-	if ongoing == nil {
-		switch {
-		case s.host.WriteQueueFull() && len(st.writes) > 0:
-			// Fig. 5 line 2: the pool can accept no more writes;
-			// drain the oldest write. A write whose line is still
-			// wanted by a queued (necessarily older — younger reads
-			// were forwarded) read must not pass it: that would be a
-			// WAR hazard the paper's Section 3.4 argument does not
-			// cover for forced writes. Skip to the oldest safe write;
-			// if every write is behind a queued read, serve reads so
-			// the hazards clear.
-			if idx := s.oldestSafeWrite(st); idx >= 0 {
-				s.installWrite(rank, bank, idx, false)
-				s.Stats.ForcedWrites++
-			} else if len(st.bursts) > 0 {
-				s.installRead(rank, bank, now)
+// NextEventCycle implements memctrl.EventHinter: the earliest future cycle
+// at which, absent submissions and completions, this mechanism could act.
+// Beyond the engine's transaction-release bound, burst scheduling has two
+// internal timers: a pending read-preemption decision (resolved next tick)
+// and the dynamic-threshold adaptation deadline.
+func (s *burstSched) NextEventCycle(now uint64) uint64 {
+	next := s.engine.NextEventCycle(now)
+	if s.opt.ReadPreemption {
+		for r := range s.burstsNE {
+			for m := s.engine.OccupiedMask(r); m != 0; m &= m - 1 {
+				if s.bank(r, bits.TrailingZeros64(m)).preemptPending {
+					return now + 1
+				}
 			}
-		case s.opt.WritePiggyback && occupancy > s.opt.Threshold && st.endOfBurst && s.rowHitWriteIndex(st) >= 0:
-			// Fig. 5 line 4: piggyback the oldest qualified write at
-			// the end of the burst.
-			s.installWrite(rank, bank, s.rowHitWriteIndex(st), true)
-			s.Stats.PiggybackedWrites++
-		case len(st.writes) > 0 && s.pendingReads == 0 && len(st.bursts) == 0:
-			// Fig. 5 line 6: "write queue is not empty and read queue
-			// is empty" — reads are prioritized channel-wide, so
-			// writes drain only when no reads are outstanding at all.
-			// This aggressive read priority is what lets the write
-			// queue approach saturation (paper Section 5.1).
-			s.installWrite(rank, bank, 0, false)
-			s.Stats.IdleWrites++
-		case len(st.bursts) > 0:
-			// Fig. 5 line 8: first read in the next burst.
+		}
+	}
+	if s.dynamic && s.nextAdapt < next {
+		next = s.nextAdapt
+	}
+	return next
+}
+
+// arbitrateVacant is the bank arbiter subroutine (paper Fig. 5) for a bank
+// with no ongoing access.
+func (s *burstSched) arbitrateVacant(rank, bank int, now uint64) {
+	st := s.bank(rank, bank)
+	occupancy := s.host.GlobalWrites()
+	wq := s.writes.List(rank, bank)
+
+	switch {
+	case s.host.WriteQueueFull() && !wq.Empty():
+		// Fig. 5 line 2: the pool can accept no more writes;
+		// drain the oldest write. A write whose line is still
+		// wanted by a queued (necessarily older — younger reads
+		// were forwarded) read must not pass it: that would be a
+		// WAR hazard the paper's Section 3.4 argument does not
+		// cover for forced writes. Skip to the oldest safe write;
+		// if every write is behind a queued read, serve reads so
+		// the hazards clear.
+		if w := s.oldestSafeWrite(st, wq); w != nil {
+			s.installWrite(rank, bank, w, false)
+			s.Stats.ForcedWrites++
+		} else if len(st.bursts) > 0 {
 			s.installRead(rank, bank, now)
 		}
-		return
+	case s.opt.WritePiggyback && occupancy > s.opt.Threshold && st.endOfBurst && s.rowHitWrite(st, wq) != nil:
+		// Fig. 5 line 4: piggyback the oldest qualified write at
+		// the end of the burst.
+		s.installWrite(rank, bank, s.rowHitWrite(st, wq), true)
+		s.Stats.PiggybackedWrites++
+	case !wq.Empty() && s.pendingReads == 0 && len(st.bursts) == 0:
+		// Fig. 5 line 6: "write queue is not empty and read queue
+		// is empty" — reads are prioritized channel-wide, so
+		// writes drain only when no reads are outstanding at all.
+		// This aggressive read priority is what lets the write
+		// queue approach saturation (paper Section 5.1).
+		s.installWrite(rank, bank, wq.Front(), false)
+		s.Stats.IdleWrites++
+	case len(st.bursts) > 0:
+		// Fig. 5 line 8: first read in the next burst.
+		s.installRead(rank, bank, now)
 	}
+}
 
-	// Fig. 5 line 9: read preemption, triggered by a read's arrival while
-	// this write was ongoing. Only writes whose column has not issued can
-	// be interrupted (a completed transfer cannot be undone); the engine
-	// clears ongoing slots at column issue, so any write still installed
-	// here is interruptible.
+// arbitrateOngoing handles Fig. 5 line 9: read preemption, triggered by a
+// read's arrival while this write was ongoing. Only writes whose column
+// has not issued can be interrupted (a completed transfer cannot be
+// undone); the engine clears ongoing slots at column issue, so any write
+// still installed here is interruptible.
+func (s *burstSched) arbitrateOngoing(rank, bank int, now uint64) {
+	st := s.bank(rank, bank)
 	if st.preemptPending {
 		st.preemptPending = false
-		if s.opt.ReadPreemption && st.ongoingIsWrite && len(st.bursts) > 0 && occupancy < s.opt.Threshold {
-			s.preempt(rank, bank, ongoing, now)
+		if st.ongoingIsWrite && len(st.bursts) > 0 && s.host.GlobalWrites() < s.opt.Threshold {
+			s.preempt(rank, bank, s.engine.Ongoing(rank, bank), now)
 		}
 	}
 }
 
-// installWrite removes st.writes[idx] and makes it the bank's ongoing
-// access.
-func (s *burstSched) installWrite(rank, bank, idx int, piggyback bool) {
+// installWrite removes w from the bank's write queue and makes it the
+// bank's ongoing access.
+func (s *burstSched) installWrite(rank, bank int, w *memctrl.Access, piggyback bool) {
 	st := s.bank(rank, bank)
-	w := st.writes[idx]
-	st.writes = append(st.writes[:idx], st.writes[idx+1:]...)
+	s.writes.Remove(w)
 	st.ongoingIsWrite = true
 	st.ongoingPiggyback = piggyback
 	s.engine.SetOngoing(rank, bank, w)
@@ -354,8 +422,7 @@ func (s *burstSched) installWrite(rank, bank, idx int, piggyback bool) {
 func (s *burstSched) installRead(rank, bank int, now uint64) {
 	st := s.bank(rank, bank)
 	bg := s.selectBurst(st, now)
-	rd := bg.reads[0]
-	bg.reads = bg.reads[1:]
+	rd := bg.reads.PopFront()
 	st.activeRow = int64(bg.row)
 	st.ongoingIsWrite = false
 	st.ongoingPiggyback = false
@@ -368,7 +435,7 @@ func (s *burstSched) installRead(rank, bank int, now uint64) {
 func (s *burstSched) selectBurst(st *bankState, now uint64) *burstGroup {
 	if st.activeRow >= 0 {
 		for _, bg := range st.bursts {
-			if int64(bg.row) == st.activeRow && len(bg.reads) > 0 {
+			if int64(bg.row) == st.activeRow && bg.reads.Len() > 0 {
 				return bg
 			}
 		}
@@ -387,7 +454,7 @@ func (s *burstSched) selectBurst(st *bankState, now uint64) *burstGroup {
 	}
 	best := oldest
 	for _, bg := range st.bursts[1:] {
-		if len(bg.reads) > len(best.reads) {
+		if bg.reads.Len() > best.reads.Len() {
 			best = bg
 		}
 	}
@@ -399,9 +466,8 @@ func (s *burstSched) selectBurst(st *bankState, now uint64) *burstGroup {
 // The write keeps any precharge/activate progress in the bank state — which
 // is how a preempting read can observe a row empty (paper Section 5.2).
 func (s *burstSched) preempt(rank, bank int, w *memctrl.Access, now uint64) {
-	st := s.bank(rank, bank)
 	s.engine.ClearOngoing(rank, bank)
-	st.writes = append([]*memctrl.Access{w}, st.writes...)
+	s.writes.PushFront(w)
 	s.Stats.Preemptions++
 	s.installRead(rank, bank, now)
 }
@@ -427,10 +493,16 @@ func (s *burstSched) onColumn(a *memctrl.Access, now uint64) {
 		if bg.row != a.Loc.Row {
 			continue
 		}
-		if len(bg.reads) == 0 {
-			// The burst is exhausted: remove it and open the
-			// piggyback window on its row.
-			st.bursts = append(st.bursts[:i], st.bursts[i+1:]...)
+		if bg.reads.Len() == 0 {
+			// The burst is exhausted: remove it, recycle the group and
+			// open the piggyback window on its row.
+			copy(st.bursts[i:], st.bursts[i+1:])
+			st.bursts[len(st.bursts)-1] = nil
+			st.bursts = st.bursts[:len(st.bursts)-1]
+			if len(st.bursts) == 0 {
+				s.burstsNE[rank] &^= 1 << uint(bank)
+			}
+			s.freeGroups = append(s.freeGroups, bg)
 			st.endOfBurst = true
 			st.lastRow = a.Loc.Row
 			st.activeRow = -1
@@ -441,24 +513,24 @@ func (s *burstSched) onColumn(a *memctrl.Access, now uint64) {
 	st.endOfBurst = false
 }
 
-// oldestSafeWrite returns the index of the oldest write in the bank whose
-// line is not wanted by any queued read, or -1 when every write is
-// hazardous (the reads will drain first).
-func (s *burstSched) oldestSafeWrite(st *bankState) int {
+// oldestSafeWrite returns the oldest write in the bank whose line is not
+// wanted by any queued read, or nil when every write is hazardous (the
+// reads will drain first).
+func (s *burstSched) oldestSafeWrite(st *bankState, wq *memctrl.AccessList) *memctrl.Access {
 	lineBytes := s.host.Config().Geometry.LineBytes
-	for i, w := range st.writes {
+	for w := wq.Front(); w != nil; w = w.Next() {
 		if !s.lineHasQueuedRead(st, w.LineAddr(lineBytes), lineBytes) {
-			return i
+			return w
 		}
 	}
-	return -1
+	return nil
 }
 
 // lineHasQueuedRead reports whether any queued read in the bank targets
 // the line.
 func (s *burstSched) lineHasQueuedRead(st *bankState, line uint64, lineBytes int) bool {
 	for _, bg := range st.bursts {
-		for _, rd := range bg.reads {
+		for rd := bg.reads.Front(); rd != nil; rd = rd.Next() {
 			if rd.LineAddr(lineBytes) == line {
 				return true
 			}
@@ -467,23 +539,22 @@ func (s *burstSched) lineHasQueuedRead(st *bankState, line uint64, lineBytes int
 	return false
 }
 
-// rowHitWriteIndex returns the index of the oldest write to the bank's
-// piggyback row, or -1. Writes whose line a queued read still wants are
-// skipped (a read to the same row may have formed a fresh burst after the
-// piggyback window opened; letting the write pass it would be a WAR
-// hazard).
-func (s *burstSched) rowHitWriteIndex(st *bankState) int {
+// rowHitWrite returns the oldest write to the bank's piggyback row, or
+// nil. Writes whose line a queued read still wants are skipped (a read to
+// the same row may have formed a fresh burst after the piggyback window
+// opened; letting the write pass it would be a WAR hazard).
+func (s *burstSched) rowHitWrite(st *bankState, wq *memctrl.AccessList) *memctrl.Access {
 	lineBytes := s.host.Config().Geometry.LineBytes
-	for i, w := range st.writes {
+	for w := wq.Front(); w != nil; w = w.Next() {
 		if w.Loc.Row != st.lastRow {
 			continue
 		}
 		if s.lineHasQueuedRead(st, w.LineAddr(lineBytes), lineBytes) {
 			continue
 		}
-		return i
+		return w
 	}
-	return -1
+	return nil
 }
 
 // schedule is the transaction scheduler subroutine (paper Fig. 6) driven by

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"burstmem/internal/cache"
+	"burstmem/internal/deque"
 	"burstmem/internal/workload"
 )
 
@@ -117,12 +118,25 @@ type CPU struct {
 	pendingIssue []int // ROB indices of loads awaiting issue
 	lsqInFlight  int
 
-	storeBuf []*storeSlot
-	sbIssued int // watermark: storeBuf[:sbIssued] already issued
+	// Store buffer: a fixed ring of StoreBufSize slots. sbIssued counts
+	// slots from the head that have already been issued to the cache.
+	sb       []storeSlot
+	sbHead   int
+	sbLen    int
+	sbIssued int
 
-	now          uint64         // internal cycle clock (never reset)
-	totalRetired uint64         // lifetime retirement count (never reset)
-	delayQ       []deferredDone // L1-hit completions (constant latency FIFO)
+	// Prebuilt completion callbacks, one per physical slot, so the hot
+	// issue paths never allocate a closure. A ROB slot (or store-buffer
+	// slot) has at most one cache callback outstanding at a time: a slot
+	// cannot recycle until its occupant completes, and completion requires
+	// the callback to have fired. issuedSeq guards against stale firings.
+	loadCB    []func()
+	sbFillCB  []func()
+	issuedSeq []uint64 // rob generation at last issue, per slot
+
+	now          uint64                    // internal cycle clock (never reset)
+	totalRetired uint64                    // lifetime retirement count (never reset)
+	delayQ       deque.Deque[deferredDone] // L1-hit completions (constant latency FIFO)
 
 	Stats Stats
 }
@@ -138,12 +152,25 @@ func New(cfg Config, gen workload.Generator, mem Mem) (*CPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &CPU{
-		cfg: cfg,
-		gen: gen,
-		mem: mem,
-		rob: make([]robEntry, cfg.ROBSize),
-	}, nil
+	c := &CPU{
+		cfg:       cfg,
+		gen:       gen,
+		mem:       mem,
+		rob:       make([]robEntry, cfg.ROBSize),
+		sb:        make([]storeSlot, cfg.StoreBufSize),
+		loadCB:    make([]func(), cfg.ROBSize),
+		sbFillCB:  make([]func(), cfg.StoreBufSize),
+		issuedSeq: make([]uint64, cfg.ROBSize),
+	}
+	for i := range c.loadCB {
+		i := i
+		c.loadCB[i] = func() { c.loadReturned(i) }
+	}
+	for i := range c.sbFillCB {
+		i := i
+		c.sbFillCB[i] = func() { c.sb[i].filled = true }
+	}
+	return c, nil
 }
 
 // Retired returns the lifetime retired instruction count (unaffected by
@@ -166,9 +193,8 @@ func (c *CPU) Tick() {
 }
 
 func (c *CPU) fireDelayed() {
-	for len(c.delayQ) > 0 && c.delayQ[0].at <= c.now {
-		d := c.delayQ[0]
-		c.delayQ = c.delayQ[1:]
+	for c.delayQ.Len() > 0 && c.delayQ.Front().at <= c.now {
+		d := c.delayQ.PopFront()
 		e := &c.rob[d.idx]
 		if e.seq == d.seq {
 			c.completeLoad(e)
@@ -197,16 +223,19 @@ const storeIssueWidth = 4
 // issue in order, so sbIssued is a watermark: everything before it is
 // already waiting or filled.
 func (c *CPU) drainStores() {
-	for len(c.storeBuf) > 0 && c.storeBuf[0].filled {
-		c.storeBuf = c.storeBuf[1:]
+	for c.sbLen > 0 && c.sb[c.sbHead].filled {
+		c.sb[c.sbHead] = storeSlot{}
+		c.sbHead = (c.sbHead + 1) % c.cfg.StoreBufSize
+		c.sbLen--
 		if c.sbIssued > 0 {
 			c.sbIssued--
 		}
 	}
 	issued := 0
-	for c.sbIssued < len(c.storeBuf) && issued < storeIssueWidth {
-		s := c.storeBuf[c.sbIssued]
-		switch c.mem.Access(s.addr, true, func() { s.filled = true }) {
+	for c.sbIssued < c.sbLen && issued < storeIssueWidth {
+		i := (c.sbHead + c.sbIssued) % c.cfg.StoreBufSize
+		s := &c.sb[i]
+		switch c.mem.Access(s.addr, true, c.sbFillCB[i]) {
 		case cache.Hit:
 			s.filled = true
 			issued++
@@ -236,11 +265,12 @@ func (c *CPU) retire() {
 			return
 		}
 		if e.typ == workload.OpStore {
-			if len(c.storeBuf) >= c.cfg.StoreBufSize {
+			if c.sbLen >= c.cfg.StoreBufSize {
 				c.Stats.StoreBufFullStalls++
 				return
 			}
-			c.storeBuf = append(c.storeBuf, &storeSlot{addr: e.addr})
+			c.sb[(c.sbHead+c.sbLen)%c.cfg.StoreBufSize] = storeSlot{addr: e.addr}
+			c.sbLen++
 			c.Stats.StoresQueued++
 		}
 		c.head = (c.head + 1) % c.cfg.ROBSize
@@ -293,11 +323,12 @@ func (c *CPU) tryIssueLoad(idx int, e *robEntry) bool {
 	}
 	e.lsqWait = false
 	seq := e.seq
-	switch c.mem.Access(e.addr, false, func() { c.loadReturned(idx, seq) }) {
+	c.issuedSeq[idx] = seq
+	switch c.mem.Access(e.addr, false, c.loadCB[idx]) {
 	case cache.Hit:
 		e.issued = true
 		c.Stats.LoadsIssued++
-		c.delayQ = append(c.delayQ, deferredDone{
+		c.delayQ.PushBack(deferredDone{
 			at: c.now + uint64(c.cfg.L1Latency), idx: idx, seq: seq,
 		})
 		return true
@@ -327,10 +358,14 @@ func (c *CPU) wouldAllocate(addr uint64) bool {
 	return true
 }
 
-// loadReturned is the miss-path completion callback.
-func (c *CPU) loadReturned(idx int, seq uint64) {
+// loadReturned is the miss-path completion callback. The slot's rob
+// generation must still match the generation at issue; a mismatch means
+// the slot was recycled, which is only possible after the prior occupant
+// completed, so stale firings are impossible in practice but guarded
+// anyway.
+func (c *CPU) loadReturned(idx int) {
 	e := &c.rob[idx]
-	if e.seq == seq {
+	if e.seq == c.issuedSeq[idx] {
 		c.completeLoad(e)
 	}
 }
@@ -371,6 +406,63 @@ func (c *CPU) dispatch() {
 	}
 }
 
+// SkipEligible reports whether Tick is a guaranteed stall until external
+// input (a cache callback) arrives: nothing to fire, retire, issue or
+// dispatch. When true, each elapsed cycle would only bump the cycle count
+// and the stall counters that SkipCycles applies in bulk.
+//
+// The conditions mirror Tick stage by stage: no deferred L1-hit
+// completions; every buffered store already issued and the head slot's
+// fill not yet arrived (drainStores idles); the ROB head blocked — an
+// incomplete load, or a store facing a full buffer (retire idles; an
+// incomplete head is always a load, since non-memory ops and stores
+// dispatch completed); every pending load either stale (done/issued),
+// parked on a full LSQ, or dependence-blocked (replay idles); and the ROB
+// full (dispatch idles).
+func (c *CPU) SkipEligible() bool {
+	if c.delayQ.Len() != 0 || c.count < c.cfg.ROBSize {
+		return false
+	}
+	if c.sbIssued != c.sbLen || (c.sbLen > 0 && c.sb[c.sbHead].filled) {
+		return false
+	}
+	head := &c.rob[c.head]
+	if head.done && !(head.typ == workload.OpStore && c.sbLen >= c.cfg.StoreBufSize) {
+		return false
+	}
+	lsqFull := c.lsqInFlight >= c.cfg.LSQSize
+	for _, idx := range c.pendingIssue {
+		e := &c.rob[idx]
+		if e.done || e.issued {
+			continue
+		}
+		if e.lsqWait && lsqFull {
+			continue
+		}
+		if e.depSeq != 0 {
+			if dep := &c.rob[e.depIdx]; dep.seq == e.depSeq && !dep.done {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// SkipCycles accounts n skipped stall cycles (caller checked SkipEligible):
+// the clock advances and the counters a stalled Tick would have bumped —
+// ROB-full at dispatch, plus the head-blocked reason at retire — grow by n.
+func (c *CPU) SkipCycles(n uint64) {
+	c.now += n
+	c.Stats.Cycles += n
+	c.Stats.ROBFullCycles += n
+	if !c.rob[c.head].done {
+		c.Stats.HeadLoadStalls += n
+	} else {
+		c.Stats.StoreBufFullStalls += n
+	}
+}
+
 // ResetStats zeroes the statistics counters without disturbing
 // architectural or timing state, opening a measurement window after cache
 // warmup.
@@ -379,5 +471,5 @@ func (c *CPU) ResetStats() { c.Stats = Stats{} }
 // Quiesced reports whether the CPU has no in-flight memory activity
 // (used to drain simulations cleanly).
 func (c *CPU) Quiesced() bool {
-	return c.lsqInFlight == 0 && len(c.storeBuf) == 0 && len(c.delayQ) == 0
+	return c.lsqInFlight == 0 && c.sbLen == 0 && c.delayQ.Len() == 0
 }

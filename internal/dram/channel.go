@@ -212,6 +212,106 @@ func (c *Channel) Tick(now uint64) bool {
 // cycle (the refresh engine may have consumed the slot during Tick).
 func (c *Channel) CommandSlotFree() bool { return !c.cmdThisCycle }
 
+// NoEvent is the "no scheduled event" sentinel returned by the next-event
+// queries used for idle-cycle skipping.
+const NoEvent = ^uint64(0)
+
+// NextEventCycle returns the next cycle at which the channel's refresh
+// engine will act on its own (close banks or start a refresh), or NoEvent.
+// It returns now+1 while a refresh is due and draining, because the engine
+// may issue a precharge on any coming cycle; command-blocking effects of an
+// in-progress refresh (refreshUntil) are accounted per command by
+// EarliestIssue instead.
+func (c *Channel) NextEventCycle(now uint64) uint64 {
+	if c.T.TREFI == 0 {
+		return NoEvent
+	}
+	next := NoEvent
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		if rk.refreshUntil <= now && rk.nextRefresh <= now {
+			return now + 1 // refresh due: the engine is actively draining
+		}
+		if rk.nextRefresh > now && rk.nextRefresh < next {
+			next = rk.nextRefresh
+		}
+	}
+	return next
+}
+
+// EarliestIssue returns the earliest cycle >= now+1 at which the command
+// could satisfy CanIssue, assuming device state stays frozen until then (no
+// other commands issue and no refresh starts — the skip logic guarantees
+// both by also waking at NextEventCycle). The cmdThisCycle slot is ignored:
+// the caller only asks about future cycles.
+func (c *Channel) EarliestIssue(cmd Cmd, t Target) uint64 {
+	rk := &c.ranks[t.Rank]
+	bk := &rk.banks[t.Bank]
+	at := c.now + 1
+	if rk.refreshUntil > at {
+		at = rk.refreshUntil
+	}
+	switch cmd {
+	case CmdPrecharge:
+		at = maxU64(at, bk.nextPrecharge)
+	case CmdActivate:
+		at = maxU64(at, bk.nextActivate)
+		if c.T.TRRD > 0 && rk.lastActivate > 0 {
+			// CanIssue at cycle x requires x+1 >= lastActivate+tRRD.
+			at = maxU64(at, rk.lastActivate+uint64(c.T.TRRD)-1)
+		}
+		if c.T.TFAW > 0 {
+			if oldest := rk.actWindow[rk.actIdx]; oldest > 0 {
+				at = maxU64(at, oldest+uint64(c.T.TFAW)-1)
+			}
+		}
+	case CmdRead:
+		at = maxU64(at, bk.nextRead)
+		if c.T.TWTR > 0 && rk.writeDataEnd > 0 {
+			at = maxU64(at, rk.writeDataEnd+uint64(c.T.TWTR))
+		}
+		if need, busy := c.busNeed(t.Rank, false); busy && need > uint64(c.T.TCL) {
+			at = maxU64(at, need-uint64(c.T.TCL))
+		}
+	case CmdWrite:
+		at = maxU64(at, bk.nextWrite)
+		if need, busy := c.busNeed(t.Rank, true); busy && need > uint64(c.T.TCWD) {
+			at = maxU64(at, need-uint64(c.T.TCWD))
+		}
+	}
+	return at
+}
+
+// busNeed returns the first cycle the data bus could start a new transfer
+// for the rank (including turnaround gaps), and whether the bus has been
+// used at all.
+func (c *Channel) busNeed(rankIdx int, isWrite bool) (uint64, bool) {
+	if !c.busUsed {
+		return 0, false
+	}
+	need := c.busBusyUntil
+	if rankIdx != c.busLastRank {
+		need += uint64(c.T.TRTRS)
+	} else if !c.busLastWrite && isWrite {
+		need += uint64(c.T.TRTW)
+	}
+	return need, true
+}
+
+// AccountSkipped attributes k skipped idle cycles to the per-cycle sampled
+// channel statistics (bank state cannot change during a skip, so the sample
+// is constant).
+func (c *Channel) AccountSkipped(k uint64) {
+	for r := range c.ranks {
+		for b := range c.ranks[r].banks {
+			if c.ranks[r].banks[b].open {
+				c.Stats.ActiveRankCycles += k
+				break
+			}
+		}
+	}
+}
+
 // OpenRow returns the open row of a bank, if any.
 func (c *Channel) OpenRow(rankIdx, bankIdx int) (uint32, bool) {
 	b := &c.ranks[rankIdx].banks[bankIdx]

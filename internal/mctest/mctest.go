@@ -37,11 +37,16 @@ func SmallConfig(t dram.Timing) memctrl.Config {
 }
 
 // Runner steps a controller cycle by cycle and records completions.
+//
+// The controller recycles Access objects through a free list once they
+// complete, so Submit returns a stable snapshot record instead of the live
+// (pool-owned) access: the record's fields are copied at submit time and
+// again at completion, after which they never change.
 type Runner struct {
 	Ctrl *memctrl.Controller
 	Cyc  uint64
 
-	Completed []*memctrl.Access
+	Completed []*memctrl.Access // snapshot records, in completion order
 	DoneAt    map[uint64]uint64 // access ID -> completion cycle
 }
 
@@ -59,14 +64,17 @@ func NewRunner(cfg memctrl.Config, factory memctrl.Factory) (*Runner, error) {
 // Submit issues an access at the current cycle. It fails the run (returns
 // error) if the pool rejects it.
 func (r *Runner) Submit(kind memctrl.Kind, addr uint64) (*memctrl.Access, error) {
+	rec := &memctrl.Access{}
 	a, ok := r.Ctrl.Submit(kind, addr, func(a *memctrl.Access, now uint64) {
-		r.Completed = append(r.Completed, a)
+		*rec = *a
+		r.Completed = append(r.Completed, rec)
 		r.DoneAt[a.ID] = now
 	})
 	if !ok {
 		return nil, fmt.Errorf("mctest: pool rejected %v access at cycle %d", kind, r.Cyc)
 	}
-	return a, nil
+	*rec = *a
+	return rec, nil
 }
 
 // SubmitLoc issues an access to a DRAM coordinate.

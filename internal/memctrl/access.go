@@ -63,6 +63,85 @@ type Access struct {
 	OnComplete func(a *Access, now uint64)
 
 	started bool
+
+	// next/prev link the access into one intrusive AccessList (a
+	// mechanism's per-bank queue, or the controller's free list). An
+	// access is on at most one list at a time.
+	next, prev *Access
+}
+
+// Next returns the following access in the list this access is linked
+// into, or nil at the tail. Iterate with:
+//
+//	for a := l.Front(); a != nil; a = a.Next() { ... }
+func (a *Access) Next() *Access { return a.next }
+
+// AccessList is an intrusive doubly-linked list of accesses. Push, pop and
+// removal are O(1) and allocation-free; mechanisms use one per bank so
+// arbitration never splices slices.
+type AccessList struct {
+	head, tail *Access
+	n          int
+}
+
+// Len returns the number of linked accesses.
+func (l *AccessList) Len() int { return l.n }
+
+// Empty reports whether the list has no accesses.
+func (l *AccessList) Empty() bool { return l.n == 0 }
+
+// Front returns the head access, or nil when empty.
+func (l *AccessList) Front() *Access { return l.head }
+
+// PushBack appends a at the tail. a must not be on any list.
+func (l *AccessList) PushBack(a *Access) {
+	a.prev = l.tail
+	a.next = nil
+	if l.tail != nil {
+		l.tail.next = a
+	} else {
+		l.head = a
+	}
+	l.tail = a
+	l.n++
+}
+
+// PushFront prepends a at the head. a must not be on any list.
+func (l *AccessList) PushFront(a *Access) {
+	a.next = l.head
+	a.prev = nil
+	if l.head != nil {
+		l.head.prev = a
+	} else {
+		l.tail = a
+	}
+	l.head = a
+	l.n++
+}
+
+// Remove unlinks a, which must be on this list.
+func (l *AccessList) Remove(a *Access) {
+	if a.prev != nil {
+		a.prev.next = a.next
+	} else {
+		l.head = a.next
+	}
+	if a.next != nil {
+		a.next.prev = a.prev
+	} else {
+		l.tail = a.prev
+	}
+	a.next, a.prev = nil, nil
+	l.n--
+}
+
+// PopFront unlinks and returns the head access; nil when empty.
+func (l *AccessList) PopFront() *Access {
+	a := l.head
+	if a != nil {
+		l.Remove(a)
+	}
+	return a
 }
 
 // Started reports whether the access has issued its first transaction.

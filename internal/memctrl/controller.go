@@ -1,7 +1,6 @@
 package memctrl
 
 import (
-	"container/heap"
 	"fmt"
 
 	"burstmem/internal/addrmap"
@@ -69,6 +68,10 @@ func (c Config) Validate() error {
 	if c.MaxWrites < 1 || c.MaxWrites > c.PoolSize {
 		return fmt.Errorf("memctrl: max writes %d must be in [1, pool size %d]", c.MaxWrites, c.PoolSize)
 	}
+	if c.Geometry.Banks > 64 {
+		// Mechanism arbiters track bank occupancy in one uint64 per rank.
+		return fmt.Errorf("memctrl: %d banks per rank exceeds the 64 supported", c.Geometry.Banks)
+	}
 	if _, err := addrmap.ByName(c.Mapping, c.Geometry); err != nil {
 		return err
 	}
@@ -118,15 +121,51 @@ type completion struct {
 	access *Access
 }
 
-type completionHeap []completion
+// completionHeap is a hand-rolled binary min-heap ordered by completion
+// time. It sifts exactly like container/heap (so event order among equal
+// times is unchanged) without the interface boxing that allocated on every
+// Push/Pop.
+type completionHeap struct{ s []completion }
 
-func (h completionHeap) Len() int           { return len(h) }
-func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
-func (h completionHeap) peek() *completion  { return &h[0] }
-func (h completionHeap) empty() bool        { return len(h) == 0 }
+func (h *completionHeap) peek() *completion { return &h.s[0] }
+func (h *completionHeap) empty() bool       { return len(h.s) == 0 }
+
+func (h *completionHeap) push(v completion) {
+	h.s = append(h.s, v)
+	j := len(h.s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if h.s[i].at <= h.s[j].at {
+			break
+		}
+		h.s[i], h.s[j] = h.s[j], h.s[i]
+		j = i
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	n := len(h.s) - 1
+	h.s[0], h.s[n] = h.s[n], h.s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h.s[j2].at < h.s[j].at {
+			j = j2
+		}
+		if h.s[j].at >= h.s[i].at {
+			break
+		}
+		h.s[i], h.s[j] = h.s[j], h.s[i]
+		i = j
+	}
+	v := h.s[n]
+	h.s[n] = completion{}
+	h.s = h.s[:n]
+	return v
+}
 
 // Controller is the full memory controller: one Mechanism instance per
 // channel sharing a global access pool, plus statistics.
@@ -148,8 +187,33 @@ type Controller struct {
 	completions completionHeap
 	nextID      uint64
 	now         uint64
+	lastSubmit  uint64 // most recent successful Submit cycle, stored +1 (0 = never)
+
+	// freeAccess heads the free list of recycled Access objects (linked
+	// through next). Fields reset at acquire time, not release time, so a
+	// pointer retained past completion keeps its final values until the
+	// object is reused by a later Submit.
+	freeAccess *Access
 
 	Stats CtrlStats
+}
+
+// acquire pops a recycled access (resetting it) or allocates a fresh one.
+func (c *Controller) acquire() *Access {
+	a := c.freeAccess
+	if a == nil {
+		return &Access{}
+	}
+	c.freeAccess = a.next
+	*a = Access{}
+	return a
+}
+
+// release pushes a completed access onto the free list. Callers must not
+// hand out the pointer afterwards.
+func (c *Controller) release(a *Access) {
+	a.next = c.freeAccess
+	c.freeAccess = a
 }
 
 // New builds a controller whose channels each run a mechanism built by the
@@ -222,29 +286,29 @@ func (c *Controller) OutstandingWrites() int { return c.poolWrites }
 // Reads that hit a pending write are forwarded and complete after
 // ForwardLatency cycles without touching the device.
 func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uint64)) (*Access, bool) {
+	c.lastSubmit = c.now + 1
 	loc := c.mapper.Decode(addr)
-	a := &Access{
-		ID:         c.nextID,
-		Kind:       kind,
-		Addr:       addr,
-		Loc:        loc,
-		Arrival:    c.now,
-		OnComplete: onComplete,
-	}
 	chIdx := int(loc.Channel)
 	mech := c.mechs[chIdx]
+	line := addr &^ uint64(c.cfg.Geometry.LineBytes-1)
 
 	if kind == KindRead && mech.ForwardsWrites() && !c.cfg.NoForwarding {
-		line := a.LineAddr(c.cfg.Geometry.LineBytes)
 		if _, hit := c.pendingWriteLines[chIdx][line]; hit {
 			// Paper Fig. 4: forward the latest write's data; the read
 			// completes immediately and never enters the queues.
+			a := c.acquire()
+			a.ID = c.nextID
 			c.nextID++
+			a.Kind = kind
+			a.Addr = addr
+			a.Loc = loc
+			a.Arrival = c.now
+			a.OnComplete = onComplete
 			a.Forwarded = true
 			a.DataEnd = c.now + uint64(c.cfg.ForwardLatency)
 			c.Stats.ForwardedReads++
 			c.Stats.AcceptedReads++
-			heap.Push(&c.completions, completion{at: a.DataEnd, access: a})
+			c.completions.push(completion{at: a.DataEnd, access: a})
 			return a, true
 		}
 	}
@@ -253,14 +317,20 @@ func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uin
 		c.Stats.RejectedRequests++
 		return nil, false
 	}
+	a := c.acquire()
+	a.ID = c.nextID
 	c.nextID++
+	a.Kind = kind
+	a.Addr = addr
+	a.Loc = loc
+	a.Arrival = c.now
+	a.OnComplete = onComplete
 	if kind == KindRead {
 		c.poolReads++
 		c.Stats.AcceptedReads++
 	} else {
 		c.poolWrites++
 		c.Stats.AcceptedWrites++
-		line := a.LineAddr(c.cfg.Geometry.LineBytes)
 		c.pendingWriteLines[chIdx][line] = a
 	}
 	mech.Enqueue(a, c.now)
@@ -273,8 +343,9 @@ func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uin
 func (c *Controller) Tick(now uint64) {
 	c.now = now
 	for !c.completions.empty() && c.completions.peek().at <= now {
-		done := heap.Pop(&c.completions).(completion)
+		done := c.completions.pop()
 		c.finish(done.access, done.at)
+		c.release(done.access)
 	}
 	for i, ch := range c.channels {
 		ch.Tick(now)
@@ -288,6 +359,80 @@ func (c *Controller) Tick(now uint64) {
 	}
 	if c.poolReads+c.poolWrites >= c.cfg.PoolSize {
 		c.Stats.PoolFullCycles++
+	}
+}
+
+// NoEvent is the "no scheduled event" sentinel (== dram.NoEvent).
+const NoEvent = ^uint64(0)
+
+// EventHinter is the optional Mechanism extension enabling idle-cycle
+// skipping. NextEventCycle returns the earliest future cycle at which the
+// mechanism could take an action given frozen inputs (no submissions or
+// completions in between): typically the engine's earliest-issue bound,
+// plus any mechanism-internal timers. Mechanisms that cannot bound their
+// next action must not implement it — the controller then never reports a
+// skippable window.
+type EventHinter interface {
+	NextEventCycle(now uint64) uint64
+}
+
+// NextEventCycle returns the earliest cycle at which controller state can
+// change, given no new submissions: the next completion, refresh event, or
+// mechanism action. It returns now+1 (nothing skippable) whenever the
+// current cycle is not settled — a command issued or an access was
+// submitted this cycle, so mechanisms may act again immediately.
+//
+// Callers may safely fast-forward to the returned cycle (accounting the
+// gap via AccountSkipped) when the rest of the machine is idle too.
+func (c *Controller) NextEventCycle(now uint64) uint64 {
+	if c.lastSubmit > now {
+		return now + 1
+	}
+	next := NoEvent
+	for i, ch := range c.channels {
+		if !ch.CommandSlotFree() {
+			return now + 1
+		}
+		h, ok := c.mechs[i].(EventHinter)
+		if !ok {
+			return now + 1
+		}
+		if v := h.NextEventCycle(now); v < next {
+			next = v
+		}
+		if v := ch.NextEventCycle(now); v < next {
+			next = v
+		}
+	}
+	if !c.completions.empty() {
+		if at := c.completions.peek().at; at < next {
+			next = at
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// AccountSkipped attributes k skipped idle cycles to the controller's
+// per-cycle sampled statistics, exactly as k no-op Ticks would have
+// (occupancy cannot change during a skip).
+func (c *Controller) AccountSkipped(k uint64) {
+	if k == 0 {
+		return
+	}
+	c.Stats.Cycles += k
+	c.Stats.OutstandingReads.AddN(c.poolReads, k)
+	c.Stats.OutstandingWrites.AddN(c.poolWrites, k)
+	if c.poolWrites >= c.cfg.MaxWrites {
+		c.Stats.WriteSatCycles += k
+	}
+	if c.poolReads+c.poolWrites >= c.cfg.PoolSize {
+		c.Stats.PoolFullCycles += k
+	}
+	for _, ch := range c.channels {
+		ch.AccountSkipped(k)
 	}
 }
 
@@ -427,5 +572,5 @@ func (h *Host) StartAccess(a *Access, now uint64) {
 // access's data end).
 func (h *Host) CompleteAt(a *Access, dataEnd uint64) {
 	a.DataEnd = dataEnd
-	heap.Push(&h.ctrl.completions, completion{at: dataEnd, access: a})
+	h.ctrl.completions.push(completion{at: dataEnd, access: a})
 }

@@ -1,6 +1,8 @@
 package memctrl
 
 import (
+	"math/bits"
+
 	"burstmem/internal/dram"
 )
 
@@ -9,9 +11,16 @@ import (
 // through their precharge/activate/column transaction sequences against the
 // device state. Every mechanism reuses it; policies differ only in how they
 // pick ongoing accesses and order candidate transactions.
+//
+// Occupied banks are tracked in one uint64 bitmap per rank, so candidate
+// collection visits only banks that actually hold an ongoing access
+// (bits.TrailingZeros64 per occupied bank) instead of scanning the whole
+// rank×bank grid.
 type Engine struct {
 	host    *Host
+	banks   int
 	ongoing [][]*Access // [rank][bank]
+	occ     []uint64    // per-rank occupied-bank bitmaps
 	// onColumn runs after an access's column transaction issues, before
 	// the bank's ongoing slot clears.
 	onColumn func(a *Access, now uint64)
@@ -22,7 +31,9 @@ type Engine struct {
 func NewEngine(host *Host, onColumn func(a *Access, now uint64)) *Engine {
 	e := &Engine{host: host, onColumn: onColumn}
 	ch := host.Channel()
+	e.banks = ch.Banks()
 	e.ongoing = make([][]*Access, ch.Ranks())
+	e.occ = make([]uint64, ch.Ranks())
 	for r := range e.ongoing {
 		e.ongoing[r] = make([]*Access, ch.Banks())
 	}
@@ -33,10 +44,20 @@ func NewEngine(host *Host, onColumn func(a *Access, now uint64)) *Engine {
 func (e *Engine) Ongoing(rank, bank int) *Access { return e.ongoing[rank][bank] }
 
 // SetOngoing installs the bank's ongoing access.
-func (e *Engine) SetOngoing(rank, bank int, a *Access) { e.ongoing[rank][bank] = a }
+func (e *Engine) SetOngoing(rank, bank int, a *Access) {
+	e.ongoing[rank][bank] = a
+	e.occ[rank] |= 1 << uint(bank)
+}
 
 // ClearOngoing resets the bank's ongoing access (e.g. read preemption).
-func (e *Engine) ClearOngoing(rank, bank int) { e.ongoing[rank][bank] = nil }
+func (e *Engine) ClearOngoing(rank, bank int) {
+	e.ongoing[rank][bank] = nil
+	e.occ[rank] &^= 1 << uint(bank)
+}
+
+// OccupiedMask returns the rank's occupied-bank bitmap (bit b set means
+// bank b has an ongoing access).
+func (e *Engine) OccupiedMask(rank int) uint64 { return e.occ[rank] }
 
 // ForEachBank visits every (rank, bank) pair in order.
 func (e *Engine) ForEachBank(f func(rank, bank int)) {
@@ -68,14 +89,14 @@ func (e *Engine) Candidates() []Candidate {
 	return e.scratch
 }
 
-// collectCandidates fills dst with the per-bank next transactions.
+// collectCandidates fills dst with the per-bank next transactions, walking
+// the occupied bitmaps in (rank, bank) order.
 func (e *Engine) collectCandidates(dst []Candidate) []Candidate {
 	ch := e.host.Channel()
-	for r := range e.ongoing {
-		for b, a := range e.ongoing[r] {
-			if a == nil {
-				continue
-			}
+	for r := range e.occ {
+		for mask := e.occ[r]; mask != 0; mask &= mask - 1 {
+			b := bits.TrailingZeros64(mask)
+			a := e.ongoing[r][b]
 			cmd := ch.NextCommand(a.Target(), a.Kind == KindRead)
 			dst = append(dst, Candidate{
 				Rank:      r,
@@ -87,6 +108,27 @@ func (e *Engine) collectCandidates(dst []Candidate) []Candidate {
 		}
 	}
 	return dst
+}
+
+// NextEventCycle returns the earliest cycle any occupied bank's next
+// transaction could become issuable (dram.NoEvent when no bank has an
+// ongoing access). Mechanisms with no internal timers use this directly as
+// their idle-skip hint: with no submissions, completions or refreshes in
+// between, the channel state is frozen and nothing can happen earlier.
+func (e *Engine) NextEventCycle(now uint64) uint64 {
+	ch := e.host.Channel()
+	next := dram.NoEvent
+	for r := range e.occ {
+		for mask := e.occ[r]; mask != 0; mask &= mask - 1 {
+			b := bits.TrailingZeros64(mask)
+			a := e.ongoing[r][b]
+			cmd := ch.NextCommand(a.Target(), a.Kind == KindRead)
+			if at := ch.EarliestIssue(cmd, a.Target()); at < next {
+				next = at
+			}
+		}
+	}
+	return next
 }
 
 // Issue executes the candidate's transaction. For a column transaction the
@@ -103,6 +145,6 @@ func (e *Engine) Issue(c Candidate, now uint64) {
 		if e.onColumn != nil {
 			e.onColumn(a, now)
 		}
-		e.ongoing[c.Rank][c.Bank] = nil
+		e.ClearOngoing(c.Rank, c.Bank)
 	}
 }

@@ -1,0 +1,48 @@
+// Package profiling gives the repo's commands the conventional
+// -cpuprofile/-memprofile behaviour via runtime/pprof, so simulator
+// performance work (`go tool pprof`) needs no test harness — any
+// experiment or sweep invocation can be profiled directly.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpuPath is non-empty) and returns a stop
+// function that ends it and writes a heap profile (if memPath is
+// non-empty). Callers defer the returned function from main. Empty paths
+// make it a no-op, so it can be wired unconditionally:
+//
+//	defer profiling.Start(*cpuprofile, *memprofile)()
+func Start(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			check(cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			check(err)
+			runtime.GC() // materialize the live heap, not allocation churn
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+		os.Exit(1)
+	}
+}

@@ -18,9 +18,15 @@
 // scheduling's Table 2 transaction priority, neither accounts for DDR2
 // rank-to-rank turnaround when picking among ready columns, so bubble
 // cycles appear on the data bus (paper Section 4.2).
+//
+// Queues are intrusive per-bank lists (memctrl.BankQueues) with
+// nonempty-bank bitmaps, so the steady-state arbitration path performs no
+// allocation and no full rank×bank scans.
 package sched
 
 import (
+	"math/bits"
+
 	"burstmem/internal/memctrl"
 )
 
@@ -66,7 +72,9 @@ func IntelRP() memctrl.Factory {
 type bankInOrder struct {
 	host      *memctrl.Host
 	engine    *memctrl.Engine
-	queues    [][][]*memctrl.Access // [rank][bank] FIFO
+	queues    *memctrl.BankQueues
+	ranks     int
+	banks     int
 	pipelined bool
 	rr        *roundRobin
 	rrNext    int // flattened bank index after the last served bank (serial mode)
@@ -81,10 +89,8 @@ func newBankInOrder(h *memctrl.Host, pipelined bool) *bankInOrder {
 	s := &bankInOrder{host: h, pipelined: pipelined}
 	s.engine = memctrl.NewEngine(h, s.onColumn)
 	ch := h.Channel()
-	s.queues = make([][][]*memctrl.Access, ch.Ranks())
-	for r := range s.queues {
-		s.queues[r] = make([][]*memctrl.Access, ch.Banks())
-	}
+	s.ranks, s.banks = ch.Ranks(), ch.Banks()
+	s.queues = memctrl.NewBankQueues(s.ranks, s.banks)
 	s.rr = newRoundRobin(ch.Ranks(), ch.Banks())
 	return s
 }
@@ -106,8 +112,7 @@ func (s *bankInOrder) Pending() (int, int) { return s.pendingReads, s.pendingWri
 
 // Enqueue implements memctrl.Mechanism.
 func (s *bankInOrder) Enqueue(a *memctrl.Access, now uint64) {
-	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
-	s.queues[r][b] = append(s.queues[r][b], a)
+	s.queues.PushBack(a)
 	if a.Kind == memctrl.KindRead {
 		s.pendingReads++
 	} else {
@@ -128,12 +133,13 @@ func (s *bankInOrder) onColumn(a *memctrl.Access, now uint64) {
 func (s *bankInOrder) Tick(now uint64) {
 	ch := s.host.Channel()
 	if s.pipelined {
-		s.engine.ForEachBank(func(r, b int) {
-			if s.engine.Ongoing(r, b) == nil && len(s.queues[r][b]) > 0 {
-				s.engine.SetOngoing(r, b, s.queues[r][b][0])
-				s.queues[r][b] = s.queues[r][b][1:]
+		for r := 0; r < s.ranks; r++ {
+			// Banks with queued work and a free ongoing slot.
+			for m := s.queues.Mask(r) &^ s.engine.OccupiedMask(r); m != 0; m &= m - 1 {
+				b := bits.TrailingZeros64(m)
+				s.engine.SetOngoing(r, b, s.queues.PopFront(r, b))
 			}
-		})
+		}
 		if ch.CommandSlotFree() {
 			s.rr.issue(s.engine, now)
 		}
@@ -141,16 +147,14 @@ func (s *bankInOrder) Tick(now uint64) {
 	}
 	if s.current == nil {
 		// Round-robin bank selection, FIFO within the bank.
-		banks := ch.Banks()
-		total := ch.Ranks() * banks
+		total := s.ranks * s.banks
 		for i := 0; i < total; i++ {
 			idx := (s.rrNext + i) % total
-			r, b := idx/banks, idx%banks
-			if len(s.queues[r][b]) == 0 {
+			r, b := idx/s.banks, idx%s.banks
+			if s.queues.List(r, b).Empty() {
 				continue
 			}
-			s.current = s.queues[r][b][0]
-			s.queues[r][b] = s.queues[r][b][1:]
+			s.current = s.queues.PopFront(r, b)
 			s.curRank, s.curBank = r, b
 			s.engine.SetOngoing(r, b, s.current)
 			s.rrNext = idx + 1
@@ -176,7 +180,8 @@ func (s *bankInOrder) Tick(now uint64) {
 type rowHit struct {
 	host   *memctrl.Host
 	engine *memctrl.Engine
-	queues [][][]*memctrl.Access
+	queues *memctrl.BankQueues
+	ranks  int
 
 	pendingReads, pendingWrites int
 }
@@ -185,10 +190,8 @@ func newRowHit(h *memctrl.Host) *rowHit {
 	s := &rowHit{host: h}
 	s.engine = memctrl.NewEngine(h, s.onColumn)
 	ch := h.Channel()
-	s.queues = make([][][]*memctrl.Access, ch.Ranks())
-	for r := range s.queues {
-		s.queues[r] = make([][]*memctrl.Access, ch.Banks())
-	}
+	s.ranks = ch.Ranks()
+	s.queues = memctrl.NewBankQueues(ch.Ranks(), ch.Banks())
 	return s
 }
 
@@ -206,8 +209,7 @@ func (s *rowHit) Pending() (int, int) { return s.pendingReads, s.pendingWrites }
 
 // Enqueue implements memctrl.Mechanism.
 func (s *rowHit) Enqueue(a *memctrl.Access, now uint64) {
-	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
-	s.queues[r][b] = append(s.queues[r][b], a)
+	s.queues.PushBack(a)
 	if a.Kind == memctrl.KindRead {
 		s.pendingReads++
 	} else {
@@ -230,23 +232,23 @@ func (s *rowHit) onColumn(a *memctrl.Access, now uint64) {
 // bus busy while row operations overlap underneath.
 func (s *rowHit) Tick(now uint64) {
 	ch := s.host.Channel()
-	s.engine.ForEachBank(func(r, b int) {
-		if s.engine.Ongoing(r, b) != nil || len(s.queues[r][b]) == 0 {
-			return
-		}
-		q := s.queues[r][b]
-		pick := 0
-		if row, open := ch.OpenRow(r, b); open {
-			for i, a := range q {
-				if a.Loc.Row == row {
-					pick = i
-					break
+	for r := 0; r < s.ranks; r++ {
+		for m := s.queues.Mask(r) &^ s.engine.OccupiedMask(r); m != 0; m &= m - 1 {
+			b := bits.TrailingZeros64(m)
+			q := s.queues.List(r, b)
+			pick := q.Front()
+			if row, open := ch.OpenRow(r, b); open {
+				for a := q.Front(); a != nil; a = a.Next() {
+					if a.Loc.Row == row {
+						pick = a
+						break
+					}
 				}
 			}
+			s.queues.Remove(pick)
+			s.engine.SetOngoing(r, b, pick)
 		}
-		s.engine.SetOngoing(r, b, q[pick])
-		s.queues[r][b] = append(q[:pick], q[pick+1:]...)
-	})
+	}
 	if !ch.CommandSlotFree() {
 		return
 	}
@@ -281,8 +283,9 @@ func betterColFirst(a, b memctrl.Candidate) bool {
 type intel struct {
 	host       *memctrl.Host
 	engine     *memctrl.Engine
-	reads      [][][]*memctrl.Access
-	writes     [][][]*memctrl.Access
+	reads      *memctrl.BankQueues
+	writes     *memctrl.BankQueues
+	ranks      int
 	preemption bool
 
 	pendingReads, pendingWrites int
@@ -293,12 +296,11 @@ func newIntel(h *memctrl.Host, preemption bool) *intel {
 	s := &intel{host: h, preemption: preemption}
 	s.engine = memctrl.NewEngine(h, s.onColumn)
 	ch := h.Channel()
-	s.reads = make([][][]*memctrl.Access, ch.Ranks())
-	s.writes = make([][][]*memctrl.Access, ch.Ranks())
+	s.ranks = ch.Ranks()
+	s.reads = memctrl.NewBankQueues(ch.Ranks(), ch.Banks())
+	s.writes = memctrl.NewBankQueues(ch.Ranks(), ch.Banks())
 	s.ongoingIsWrite = make([][]bool, ch.Ranks())
-	for r := range s.reads {
-		s.reads[r] = make([][]*memctrl.Access, ch.Banks())
-		s.writes[r] = make([][]*memctrl.Access, ch.Banks())
+	for r := range s.ongoingIsWrite {
 		s.ongoingIsWrite[r] = make([]bool, ch.Banks())
 	}
 	return s
@@ -321,12 +323,11 @@ func (s *intel) Pending() (int, int) { return s.pendingReads, s.pendingWrites }
 
 // Enqueue implements memctrl.Mechanism.
 func (s *intel) Enqueue(a *memctrl.Access, now uint64) {
-	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
 	if a.Kind == memctrl.KindRead {
-		s.reads[r][b] = append(s.reads[r][b], a)
+		s.reads.PushBack(a)
 		s.pendingReads++
 	} else {
-		s.writes[r][b] = append(s.writes[r][b], a)
+		s.writes.PushBack(a)
 		s.pendingWrites++
 	}
 }
@@ -342,7 +343,21 @@ func (s *intel) onColumn(a *memctrl.Access, now uint64) {
 // Tick implements memctrl.Mechanism.
 func (s *intel) Tick(now uint64) {
 	ch := s.host.Channel()
-	s.engine.ForEachBank(func(r, b int) { s.arbitrate(r, b) })
+	for r := 0; r < s.ranks; r++ {
+		// Snapshot the occupied mask before installing: a bank gets
+		// exactly one arbitration visit per tick (vacant banks install,
+		// occupied banks check preemption), mirroring the single
+		// arbitrate(r, b) call per bank of the scan-based arbiter.
+		occ := s.engine.OccupiedMask(r)
+		for m := (s.reads.Mask(r) | s.writes.Mask(r)) &^ occ; m != 0; m &= m - 1 {
+			s.arbitrateVacant(r, bits.TrailingZeros64(m))
+		}
+		if s.preemption {
+			for m := occ; m != 0; m &= m - 1 {
+				s.arbitrateOngoing(r, bits.TrailingZeros64(m))
+			}
+		}
+	}
 	if !ch.CommandSlotFree() {
 		return
 	}
@@ -371,32 +386,35 @@ func betterIntel(a, b memctrl.Candidate) bool {
 	return a.Access.Arrival < b.Access.Arrival
 }
 
-func (s *intel) arbitrate(r, b int) {
-	ongoing := s.engine.Ongoing(r, b)
-	if ongoing == nil {
-		switch {
-		case s.host.WriteQueueFull() && len(s.writes[r][b]) > 0:
-			// Drain the oldest write that no queued read still wants
-			// (WAR guard; younger same-line reads were forwarded).
-			if idx := s.oldestSafeWrite(r, b); idx >= 0 {
-				s.installWriteAt(r, b, idx)
-			} else if len(s.reads[r][b]) > 0 {
-				// Every write is behind a queued read; drain reads.
-				s.installRead(r, b)
-			}
-		case len(s.reads[r][b]) > 0:
+// arbitrateVacant picks the bank's next ongoing access when no access is
+// in flight there.
+func (s *intel) arbitrateVacant(r, b int) {
+	switch {
+	case s.host.WriteQueueFull() && !s.writes.List(r, b).Empty():
+		// Drain the oldest write that no queued read still wants
+		// (WAR guard; younger same-line reads were forwarded).
+		if w := s.oldestSafeWrite(r, b); w != nil {
+			s.installWrite(r, b, w)
+		} else if !s.reads.List(r, b).Empty() {
+			// Every write is behind a queued read; drain reads.
 			s.installRead(r, b)
-		case len(s.writes[r][b]) > 0 && s.pendingReads == 0:
-			// Writes are postponed until the channel has no reads
-			// at all (minimizing read latency, per the patent).
-			s.installWrite(r, b)
 		}
-		return
+	case !s.reads.List(r, b).Empty():
+		s.installRead(r, b)
+	case !s.writes.List(r, b).Empty() && s.pendingReads == 0:
+		// Writes are postponed until the channel has no reads
+		// at all (minimizing read latency, per the patent).
+		s.installWrite(r, b, s.writes.List(r, b).Front())
 	}
-	if s.preemption && s.ongoingIsWrite[r][b] && len(s.reads[r][b]) > 0 && !s.host.WriteQueueFull() {
+}
+
+// arbitrateOngoing handles read preemption of an in-flight write.
+func (s *intel) arbitrateOngoing(r, b int) {
+	ongoing := s.engine.Ongoing(r, b)
+	if s.ongoingIsWrite[r][b] && !s.reads.List(r, b).Empty() && !s.host.WriteQueueFull() {
 		// Read preemption: push the write back and start the read.
 		s.engine.ClearOngoing(r, b)
-		s.writes[r][b] = append([]*memctrl.Access{ongoing}, s.writes[r][b]...)
+		s.writes.PushFront(ongoing)
 		s.installRead(r, b)
 	}
 }
@@ -404,48 +422,45 @@ func (s *intel) arbitrate(r, b int) {
 // installRead picks the oldest row-hit read if the bank row is open, else
 // the oldest read.
 func (s *intel) installRead(r, b int) {
-	q := s.reads[r][b]
-	pick := 0
+	q := s.reads.List(r, b)
+	pick := q.Front()
 	if row, open := s.host.Channel().OpenRow(r, b); open {
-		for i, a := range q {
+		for a := q.Front(); a != nil; a = a.Next() {
 			if a.Loc.Row == row {
-				pick = i
+				pick = a
 				break
 			}
 		}
 	}
-	s.engine.SetOngoing(r, b, q[pick])
-	s.reads[r][b] = append(q[:pick], q[pick+1:]...)
+	s.reads.Remove(pick)
+	s.engine.SetOngoing(r, b, pick)
 	s.ongoingIsWrite[r][b] = false
 }
 
-func (s *intel) installWrite(r, b int) { s.installWriteAt(r, b, 0) }
-
-func (s *intel) installWriteAt(r, b, idx int) {
-	q := s.writes[r][b]
-	s.engine.SetOngoing(r, b, q[idx])
-	s.writes[r][b] = append(q[:idx], q[idx+1:]...)
+func (s *intel) installWrite(r, b int, w *memctrl.Access) {
+	s.writes.Remove(w)
+	s.engine.SetOngoing(r, b, w)
 	s.ongoingIsWrite[r][b] = true
 }
 
-// oldestSafeWrite returns the oldest write index whose line no queued read
-// targets, or -1.
-func (s *intel) oldestSafeWrite(r, b int) int {
+// oldestSafeWrite returns the oldest write whose line no queued read
+// targets, or nil.
+func (s *intel) oldestSafeWrite(r, b int) *memctrl.Access {
 	lineBytes := s.host.Config().Geometry.LineBytes
-	for i, w := range s.writes[r][b] {
+	for w := s.writes.List(r, b).Front(); w != nil; w = w.Next() {
 		line := w.LineAddr(lineBytes)
 		hazard := false
-		for _, rd := range s.reads[r][b] {
+		for rd := s.reads.List(r, b).Front(); rd != nil; rd = rd.Next() {
 			if rd.LineAddr(lineBytes) == line {
 				hazard = true
 				break
 			}
 		}
 		if !hazard {
-			return i
+			return w
 		}
 	}
-	return -1
+	return nil
 }
 
 // roundRobin issues one unblocked transaction per cycle, visiting banks in
@@ -484,8 +499,25 @@ func (rr *roundRobin) issue(e *memctrl.Engine, now uint64) {
 	}
 }
 
+// NextEventCycle implements memctrl.EventHinter. None of the baseline
+// mechanisms have internal timers: with no submissions or completions, the
+// only thing that can happen is an ongoing access's next transaction
+// becoming issuable, which the engine bounds.
+func (s *bankInOrder) NextEventCycle(now uint64) uint64 { return s.engine.NextEventCycle(now) }
+
+// NextEventCycle implements memctrl.EventHinter.
+func (s *rowHit) NextEventCycle(now uint64) uint64 { return s.engine.NextEventCycle(now) }
+
+// NextEventCycle implements memctrl.EventHinter. Read preemption needs no
+// extra hint: it triggers only on state that submissions and completions
+// change, both of which already wake the controller.
+func (s *intel) NextEventCycle(now uint64) uint64 { return s.engine.NextEventCycle(now) }
+
 var (
-	_ memctrl.Mechanism = (*bankInOrder)(nil)
-	_ memctrl.Mechanism = (*rowHit)(nil)
-	_ memctrl.Mechanism = (*intel)(nil)
+	_ memctrl.Mechanism   = (*bankInOrder)(nil)
+	_ memctrl.Mechanism   = (*rowHit)(nil)
+	_ memctrl.Mechanism   = (*intel)(nil)
+	_ memctrl.EventHinter = (*bankInOrder)(nil)
+	_ memctrl.EventHinter = (*rowHit)(nil)
+	_ memctrl.EventHinter = (*intel)(nil)
 )

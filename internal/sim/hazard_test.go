@@ -36,11 +36,10 @@ func TestOrderingInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			type rec struct {
-				a    *memctrl.Access
-				done uint64
-			}
-			var completed []rec
+			// The controller recycles Access objects after completion, so
+			// keep stable snapshot records (copied at submit and again at
+			// completion) rather than live pool-owned pointers.
+			var completed int
 			rng := xrand.New(7)
 			var submitted []*memctrl.Access
 			ctrl.Tick(0)
@@ -58,13 +57,16 @@ func TestOrderingInvariants(t *testing.T) {
 				}
 				// Tiny footprint: 16 lines over 2 banks, heavy collisions.
 				addr := uint64(rng.Intn(16)) * 64 * 4
+				rec := &memctrl.Access{}
 				a, ok := ctrl.Submit(kind, addr, func(a *memctrl.Access, now uint64) {
-					completed = append(completed, rec{a, now})
+					*rec = *a
+					completed++
 				})
 				if !ok {
 					continue
 				}
-				submitted = append(submitted, a)
+				*rec = *a
+				submitted = append(submitted, rec)
 			}
 			for cyc := uint64(30000); !ctrl.Drained(); cyc++ {
 				if cyc > 300000 {
@@ -73,8 +75,8 @@ func TestOrderingInvariants(t *testing.T) {
 				}
 				ctrl.Tick(cyc)
 			}
-			if len(completed) != len(submitted) {
-				t.Fatalf("completed %d of %d", len(completed), len(submitted))
+			if completed != len(submitted) {
+				t.Fatalf("completed %d of %d", completed, len(submitted))
 			}
 			// Group by line; check orderings via device data times.
 			byLine := map[uint64][]*memctrl.Access{}

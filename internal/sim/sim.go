@@ -162,6 +162,10 @@ type System struct {
 	FSB  *bus.FSB
 	Ctrl *memctrl.Controller
 
+	// DisableSkip forces FastForward/TrySkip to step every cycle
+	// (reference mode for equivalence testing).
+	DisableSkip bool
+
 	memCycle     uint64
 	measureStart uint64 // memCycle when the measurement window opened
 }
@@ -251,6 +255,62 @@ func (s *System) StepMemCycle() {
 	}
 }
 
+// FastForward advances one memory cycle like StepMemCycle, then — when the
+// whole machine is provably stalled waiting on the memory system — jumps
+// the clock to just before the next cycle at which any component can act.
+// Machine state evolution is bit-identical to stepping every cycle: a skip
+// happens only when every skipped Tick would have been a no-op apart from
+// cycle/stall counters, which are applied in bulk.
+//
+// Callers that open a measurement window mid-run (ResetStats) or stop at a
+// retirement target must not let a skip straddle the boundary cycle — the
+// bulk-accounted stall cycles would land on the wrong side of the window.
+// Drive StepMemCycle and TrySkip separately there, as runSystem does.
+func (s *System) FastForward() {
+	s.StepMemCycle()
+	s.TrySkip()
+}
+
+// TrySkip jumps the clock over cycles on which provably nothing can happen
+// and returns how many memory cycles were skipped (0 when any component is
+// active or the next event is imminent).
+func (s *System) TrySkip() uint64 {
+	if s.DisableSkip {
+		return 0
+	}
+	// Every CPU-domain component must be provably idle until external
+	// input arrives; otherwise step normally.
+	if !s.L2.SkipEligible() {
+		return 0
+	}
+	for c := range s.CPUs {
+		if !s.L1Ds[c].SkipEligible() || !s.CPUs[c].SkipEligible() {
+			return 0
+		}
+	}
+	// Memory-domain components bound the next state transition.
+	next := s.Ctrl.NextEventCycle(s.memCycle)
+	if at := s.FSB.NextEventCycle(s.memCycle); at < next {
+		next = at
+	}
+	if next == memctrl.NoEvent || next <= s.memCycle+1 {
+		return 0
+	}
+	// Land one cycle before the event so the event cycle itself is
+	// stepped in full.
+	k := next - 1 - s.memCycle
+	s.Ctrl.AccountSkipped(k)
+	s.FSB.AccountSkipped(k)
+	n := k * uint64(s.Cfg.CPUCyclesPerMemCycle)
+	s.L2.SkipCycles(n)
+	for c := range s.CPUs {
+		s.L1Ds[c].SkipCycles(n)
+		s.CPUs[c].SkipCycles(n)
+	}
+	s.memCycle += k
+	return k
+}
+
 // MinRetired returns the lowest lifetime retirement count across cores
 // (the run target for CMP simulations, so every core completes its share).
 func (s *System) MinRetired() uint64 {
@@ -303,6 +363,13 @@ func runSystem(cfg Config, sys *System, name string) (Result, error) {
 			warmed = true
 		}
 		sys.StepMemCycle()
+		// Skip idle stretches, but never across a window boundary: the
+		// cycle that crosses the warmup threshold must ResetStats before
+		// any bulk stall accounting, and the cycle that reaches the
+		// target must end the run exactly there.
+		if r := sys.MinRetired(); r < target && (warmed || r < cfg.WarmupInstructions) {
+			sys.TrySkip()
+		}
 	}
 	return sys.Collect(name), nil
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator throughput benchmark and record the results
+# as BENCH_sim.json, so the perf trajectory is visible across PRs.
+#
+# Usage:
+#   scripts/bench.sh            # full run (benchtime 3x, written to BENCH_sim.json)
+#   scripts/bench.sh -short     # quick smoke run (1 iteration, no file written)
+#
+# Each JSON entry records the benchmark case, simulated memory cycles per
+# wall-clock second, ns per run, bytes and allocations per run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=3x
+OUT=BENCH_sim.json
+if [[ "${1:-}" == "-short" ]]; then
+    BENCHTIME=1x
+    OUT=""
+fi
+
+RAW=$(go test -run '^$' -bench 'BenchmarkSimThroughput' -benchmem -benchtime "$BENCHTIME" .)
+echo "$RAW"
+
+[[ -z "$OUT" ]] && exit 0
+
+echo "$RAW" | awk '
+BEGIN { print "["; first = 1 }
+/^BenchmarkSimThroughput\// {
+    name = $1
+    sub(/^BenchmarkSimThroughput\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    nsop = ""; cyc = ""; bop = ""; aop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op") nsop = $i
+        if ($(i+1) == "simcycles/s") cyc = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+    }
+    if (!first) print ","
+    first = 0
+    printf "  {\"case\": \"%s\", \"simcycles_per_sec\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, cyc, nsop, bop, aop
+}
+END { print "\n]" }
+' > "$OUT"
+
+echo "wrote $OUT"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# ci.sh — the full verification gate: static checks, build, race-enabled
+# tests, and a short throughput benchmark smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== throughput bench (short) =="
+scripts/bench.sh -short
+
+echo "CI OK"
