@@ -12,6 +12,7 @@ package burstmem
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"burstmem/internal/addrmap"
@@ -367,9 +368,13 @@ func BenchmarkAblationAddressMapping(b *testing.B) {
 // BenchmarkSimThroughput measures simulator performance itself: simulated
 // memory cycles per wall-clock second on full-machine runs, across a
 // memory-intensive streaming profile (swim), a pointer-chasing profile
-// (mcf) and a compute-leaning profile (gcc). Run with -benchmem to also
-// see steady-state allocation behaviour; scripts/bench.sh records the
-// results as BENCH_sim.json so perf regressions are visible across PRs.
+// (mcf) and a compute-leaning profile (gcc). Besides the -benchmem
+// whole-iteration numbers (dominated by NewSystem setup), it reports
+// hotallocs/op: heap allocations during the simulation loop itself, which
+// the pooled hot path keeps down to warm-up refills (it does not scale
+// with simulated cycles). scripts/bench.sh
+// records the results as BENCH_sim.json so perf regressions are visible
+// across PRs.
 func BenchmarkSimThroughput(b *testing.B) {
 	cases := []struct{ bench, mech string }{
 		{"swim", "Burst_TH"},
@@ -388,7 +393,8 @@ func BenchmarkSimThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 			cfg := benchConfig()
-			var simulated uint64
+			var simulated, hotAllocs uint64
+			var ms runtime.MemStats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sys, err := sim.NewSystem(cfg, prof, factory)
@@ -396,13 +402,18 @@ func BenchmarkSimThroughput(b *testing.B) {
 					b.Fatal(err)
 				}
 				target := cfg.WarmupInstructions + cfg.Instructions
+				runtime.ReadMemStats(&ms)
+				before := ms.Mallocs
 				for sys.MinRetired() < target {
 					sys.FastForward()
 				}
+				runtime.ReadMemStats(&ms)
+				hotAllocs += ms.Mallocs - before
 				simulated += sys.MemCycle()
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(simulated)/b.Elapsed().Seconds(), "simcycles/s")
+			b.ReportMetric(float64(hotAllocs)/float64(b.N), "hotallocs/op")
 		})
 	}
 }

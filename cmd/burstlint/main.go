@@ -1,0 +1,57 @@
+// Command burstlint is the repository's multichecker: it runs the custom
+// correctness analyzers over the given package patterns and exits non-zero
+// when any diagnostic survives.
+//
+// Usage:
+//
+//	go run ./cmd/burstlint ./...
+//
+// Analyzers (see each package's doc for the exact contract):
+//
+//	detlint     nondeterminism sources in simulation packages
+//	hotalloc    heap allocations in //burstmem:hotpath functions
+//	exhaustive  non-exhaustive switches over protocol enums
+//
+// Intentional exceptions are annotated in the source as
+// `//lint:ignore <analyzer> <reason>` on (or directly above) the flagged
+// line. scripts/ci.sh runs burstlint as a required stage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/detlint"
+	"burstmem/internal/analysis/exhaustive"
+	"burstmem/internal/analysis/hotalloc"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: burstlint [packages]\n\nruns the burstmem analyzers (detlint, hotalloc, exhaustive)\nover the package patterns (default ./...)\n")
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "burstlint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{
+		detlint.Analyzer,
+		hotalloc.Analyzer,
+		exhaustive.Analyzer,
+	})
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "burstlint: %d issue(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

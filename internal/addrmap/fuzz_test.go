@@ -1,0 +1,61 @@
+package addrmap
+
+import "testing"
+
+// fuzzGeometries are the organizations the fuzzer decodes against: the
+// paper's Table 3 baseline plus a skewed shape (single channel, wide rank and
+// bank fields, short rows) so field-boundary bugs that cancel out in the
+// symmetric default still surface.
+func fuzzGeometries() []Geometry {
+	return []Geometry{
+		DefaultGeometry(),
+		{Channels: 1, Ranks: 8, Banks: 8, Rows: 512, ColumnLines: 32, LineBytes: 64},
+	}
+}
+
+// FuzzMapperRoundTrip checks, for every mapper and geometry, that Decode is
+// inverted exactly by Encode (at line granularity), that decoded coordinates
+// stay inside the geometry, and that the mapping is injective: two addresses
+// in distinct lines never decode to the same coordinate.
+//
+// Run with: go test -fuzz FuzzMapperRoundTrip ./internal/addrmap/
+func FuzzMapperRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(64))
+	f.Add(uint64(0xdeadbeef), uint64(0x1234567))
+	f.Add(uint64(1)<<31, uint64(1)<<31+4096)
+	f.Add(^uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, addrA, addrB uint64) {
+		for _, g := range fuzzGeometries() {
+			// Addresses beyond the capacity alias back into it; clamp so
+			// Encode(Decode(a)) can be compared against a itself.
+			a := addrA % g.TotalBytes()
+			b := addrB % g.TotalBytes()
+			lineMask := ^uint64(g.LineBytes - 1)
+			for _, name := range Names() {
+				m, err := ByName(name, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				la, lb := m.Decode(a), m.Decode(b)
+				for _, dl := range []struct {
+					addr uint64
+					loc  Loc
+				}{{a, la}, {b, lb}} {
+					if int(dl.loc.Channel) >= g.Channels || int(dl.loc.Rank) >= g.Ranks ||
+						int(dl.loc.Bank) >= g.Banks || int(dl.loc.Row) >= g.Rows ||
+						int(dl.loc.Col) >= g.ColumnLines {
+						t.Fatalf("%s/%+v: Decode(%#x) = %s outside geometry", name, g, dl.addr, dl.loc)
+					}
+					if back := m.Encode(dl.loc); back != dl.addr&lineMask {
+						t.Fatalf("%s/%+v: Encode(Decode(%#x)) = %#x, want %#x",
+							name, g, dl.addr, back, dl.addr&lineMask)
+					}
+				}
+				if a&lineMask != b&lineMask && la == lb {
+					t.Fatalf("%s/%+v: injectivity broken: %#x and %#x both decode to %s",
+						name, g, a, b, la)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,87 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against expectations written in the source, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := timeNow() // want `nondeterminism`
+//
+// Every line carrying a `// want "regexp"` comment must receive at least
+// one diagnostic matching the regexp, and every diagnostic must be matched
+// by a want comment on its line.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"burstmem/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want [\"`](.+)[\"`]")
+
+// Run loads the package at dir (a path relative to the analyzer's package
+// directory, e.g. "./testdata/src/internal/core"), applies the analyzer and
+// compares diagnostics with // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key]*wantExpect{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants[key{pos.Filename, pos.Line}] = &wantExpect{re: re, raw: m[1]}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		w := wants[key{d.Pos.Filename, d.Pos.Line}]
+		if w == nil {
+			t.Errorf("unexpected diagnostic %v", d)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("diagnostic %v does not match want %q", d, w.raw)
+			continue
+		}
+		w.matched = true
+	}
+	for k, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", shortFile(k.file), k.line, w.raw)
+		}
+	}
+}
+
+type wantExpect struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func shortFile(name string) string {
+	if i := strings.LastIndex(name, "/testdata/"); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

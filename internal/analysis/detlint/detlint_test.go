@@ -1,0 +1,18 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer, "./testdata/src/internal/core")
+}
+
+// TestOutOfScope verifies packages outside the simulation set are ignored
+// even when they contain the forbidden constructs.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer, "./testdata/src/tooling")
+}

@@ -1,0 +1,22 @@
+// Package tooling is detlint test data for the scope rule: its import path
+// is not one of the simulation packages, so nothing here is flagged even
+// though every forbidden construct appears.
+package tooling
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 { return time.Now().Unix() }
+
+func roll() int { return rand.Intn(6) }
+
+func spawn(f func()) { go f() }
+
+func anyKey(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}

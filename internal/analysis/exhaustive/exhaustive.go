@@ -1,0 +1,168 @@
+// Package exhaustive requires switches over the memory-protocol enums to
+// handle every variant. The enums it guards — dram.Cmd, dram.RowOutcome,
+// memctrl.Kind and memctrl.RowPolicy — encode the DDR2 command set and the
+// controller's access/policy vocabulary; a switch that silently ignores a
+// variant is exactly how adding (say) a power-down command or a new row
+// policy would corrupt scheduling without failing a single test.
+//
+// A switch over a guarded enum is accepted when either
+//
+//   - every package-level constant of the enum type appears among its case
+//     expressions, or
+//   - it has a default case that panics (a loud guard for can't-happen
+//     variants: new constants then fail fast instead of being misscheduled).
+//
+// A default case that does anything else is silent fallthrough and does not
+// count.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"burstmem/internal/analysis"
+)
+
+// Analyzer is the exhaustive pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "require switches over protocol enums (dram.Cmd, dram.RowOutcome, memctrl.Kind, memctrl.RowPolicy) to cover every constant or panic by default",
+	Run:  run,
+}
+
+// guarded maps enum-defining package paths to the guarded type names.
+var guarded = map[string][]string{
+	"burstmem/internal/dram":    {"Cmd", "RowOutcome"},
+	"burstmem/internal/memctrl": {"Kind", "RowPolicy"},
+}
+
+// isGuarded reports whether the named type is one of the protocol enums.
+func isGuarded(named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	names, ok := guarded[obj.Pkg().Path()]
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.TypesInfo.Types[sw.Tag].Type
+			if tagType == nil {
+				return true
+			}
+			named, ok := tagType.(*types.Named)
+			if !ok || !isGuarded(named) {
+				return true
+			}
+			checkSwitch(pass, sw, named)
+			return true
+		})
+	}
+}
+
+// checkSwitch verifies one switch over a guarded enum.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, named *types.Named) {
+	members := enumMembers(named)
+	covered := map[string]bool{}
+	hasPanicDefault := false
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			if panics(pass, clause.Body) {
+				hasPanicDefault = true
+			}
+			continue
+		}
+		for _, expr := range clause.List {
+			tv := pass.TypesInfo.Types[expr]
+			if tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	if hasPanicDefault {
+		return
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s.%s is not exhaustive: missing %s (add the cases or a panicking default)",
+			named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+type member struct {
+	name string
+	val  string
+	ord  int64
+}
+
+// enumMembers lists the package-level constants of the enum type in value
+// order, deduplicated by constant value.
+func enumMembers(named *types.Named) []member {
+	scope := named.Obj().Pkg().Scope()
+	seen := map[string]bool{}
+	var out []member
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		ord, _ := constant.Int64Val(c.Val())
+		out = append(out, member{name: name, val: v, ord: ord})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ord < out[j].ord })
+	return out
+}
+
+// panics reports whether a default clause body guards loudly: its last
+// statement is a call of the predeclared panic.
+func panics(pass *analysis.Pass, body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	expr, ok := body[len(body)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

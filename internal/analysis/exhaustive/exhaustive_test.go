@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, exhaustive.Analyzer, "./testdata/src/exh")
+}

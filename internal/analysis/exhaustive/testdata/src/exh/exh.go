@@ -1,0 +1,103 @@
+// Package exh is exhaustive test data. It switches over the real protocol
+// enums so the test exercises the exact contract cmd/burstlint enforces on
+// the tree.
+package exh
+
+import (
+	"burstmem/internal/dram"
+	"burstmem/internal/memctrl"
+)
+
+// full covers every dram.Cmd constant: accepted.
+func full(c dram.Cmd) int {
+	switch c {
+	case dram.CmdPrecharge:
+		return 0
+	case dram.CmdActivate:
+		return 1
+	case dram.CmdRead, dram.CmdWrite:
+		return 2
+	case dram.CmdRefresh:
+		return 3
+	}
+	return -1
+}
+
+// missing omits CmdRefresh with no default: flagged.
+func missing(c dram.Cmd) int {
+	switch c { // want `switch over dram.Cmd is not exhaustive: missing CmdRefresh`
+	case dram.CmdPrecharge, dram.CmdActivate:
+		return 0
+	case dram.CmdRead:
+		return 1
+	case dram.CmdWrite:
+		return 2
+	}
+	return -1
+}
+
+// silentDefault hides two variants behind a non-panicking default: flagged.
+func silentDefault(o dram.RowOutcome) bool {
+	switch o { // want `switch over dram.RowOutcome is not exhaustive: missing RowEmpty, RowConflict`
+	case dram.RowHit:
+		return true
+	default:
+		return false
+	}
+}
+
+// panicDefault guards loudly: accepted even though variants are missing.
+func panicDefault(o dram.RowOutcome) bool {
+	switch o {
+	case dram.RowHit:
+		return true
+	default:
+		panic("exh: unhandled row outcome")
+	}
+}
+
+// kinds omits KindWrite: flagged.
+func kinds(k memctrl.Kind) string {
+	switch k { // want `switch over memctrl.Kind is not exhaustive: missing KindWrite`
+	case memctrl.KindRead:
+		return "r"
+	}
+	return "?"
+}
+
+// policies covers memctrl.RowPolicy fully: accepted.
+func policies(p memctrl.RowPolicy) bool {
+	switch p {
+	case memctrl.OpenPage:
+		return false
+	case memctrl.ClosePageAuto:
+		return true
+	}
+	return false
+}
+
+// unguarded enums outside the protocol set are never flagged.
+type localEnum int
+
+const (
+	lA localEnum = iota
+	lB
+)
+
+func local(e localEnum) bool {
+	switch e {
+	case lA:
+		return true
+	}
+	return false
+}
+
+// ignored demonstrates suppression for a deliberate partial switch.
+func ignored(c dram.Cmd) bool {
+	//lint:ignore exhaustive only column commands reach this helper
+	switch c {
+	case dram.CmdRead, dram.CmdWrite:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+// Package hotalloc flags potential heap allocations inside functions
+// annotated with the `//burstmem:hotpath` directive. The simulator's
+// per-cycle scheduling path is allocation-free by design (PR 1; see
+// alloc_test.go and DESIGN.md §7), and this analyzer keeps it that way
+// under refactoring by reporting the constructs that escape to the heap or
+// grow storage:
+//
+//   - address-of composite literals (&T{...}) and new(T): the value escapes
+//     through the pointer unless the compiler proves otherwise;
+//   - make(...) and append(...): slice/map growth in steady state;
+//   - function literals: closures capture by reference and usually allocate;
+//   - interface boxing: storing a non-pointer-shaped concrete value into an
+//     interface allocates the boxed copy.
+//
+// The analysis is intentionally conservative (it does not run escape
+// analysis); intentional slow paths — pool refills, capacity-retained
+// scratch appends — carry `//lint:ignore hotalloc <reason>` annotations.
+// Arguments of panic(...) calls are not inspected: a panicking simulator is
+// already broken, so allocation on the way out is irrelevant.
+//
+// The annotation contract: the directive comment must be part of the
+// function's doc comment block. Annotate the functions executed every
+// memory cycle (Tick, CanIssue/Issue, arbiters, transaction schedulers),
+// not their constructors.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"burstmem/internal/analysis"
+)
+
+// Directive marks a function as part of the allocation-free hot path.
+const Directive = "//burstmem:hotpath"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap allocations (escaping literals, append growth, closures, interface boxing) in //burstmem:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+}
+
+// isHotpath reports whether the function's doc block carries the directive.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, Directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody walks one hot function, skipping panic(...) subtrees.
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "panic") {
+				return false // allocation on a panic path is irrelevant
+			}
+			switch {
+			case isBuiltin(pass, n.Fun, "new"):
+				pass.Reportf(n.Pos(), "new(...) allocates in hot path")
+			case isBuiltin(pass, n.Fun, "make"):
+				pass.Reportf(n.Pos(), "make(...) allocates in hot path")
+			case isBuiltin(pass, n.Fun, "append"):
+				pass.Reportf(n.Pos(), "append may grow its backing array in hot path")
+			default:
+				checkCallBoxing(pass, n)
+			}
+		case *ast.UnaryExpr:
+			if _, lit := n.X.(*ast.CompositeLit); lit && n.Op.String() == "&" {
+				pass.Reportf(n.Pos(), "address of composite literal escapes to the heap in hot path")
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates in hot path")
+			return false // a closure's own body is not the annotated path
+		case *ast.AssignStmt:
+			checkAssignBoxing(pass, n)
+		case *ast.ValueSpec:
+			checkValueSpecBoxing(pass, n)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, fn, n)
+		}
+		return true
+	})
+}
+
+// isBuiltin reports whether the call target is the named predeclared
+// function.
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// checkCallBoxing flags concrete values passed to interface parameters.
+func checkCallBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		// A type conversion T(x): boxing only if T is an interface.
+		if tv, isConv := pass.TypesInfo.Types[call.Fun]; isConv && tv.IsType() && len(call.Args) == 1 {
+			reportIfBoxed(pass, call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		reportIfBoxed(pass, arg, pt, "argument")
+	}
+}
+
+// checkAssignBoxing flags concrete right-hand sides assigned into interface
+// left-hand sides.
+func checkAssignBoxing(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := pass.TypesInfo.Types[lhs].Type
+		if lt == nil {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt != nil {
+			reportIfBoxed(pass, as.Rhs[i], lt, "assignment")
+		}
+	}
+}
+
+// checkValueSpecBoxing flags `var x I = concrete` declarations.
+func checkValueSpecBoxing(pass *analysis.Pass, spec *ast.ValueSpec) {
+	if spec.Type == nil {
+		return
+	}
+	dt := pass.TypesInfo.Types[spec.Type].Type
+	for _, v := range spec.Values {
+		reportIfBoxed(pass, v, dt, "declaration")
+	}
+}
+
+// checkReturnBoxing flags concrete values returned as interface results.
+func checkReturnBoxing(pass *analysis.Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	obj := pass.TypesInfo.Defs[fn.Name]
+	if obj == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		reportIfBoxed(pass, r, sig.Results().At(i).Type(), "return")
+	}
+}
+
+// reportIfBoxed reports when a concrete, non-pointer-shaped value is stored
+// into an interface-typed destination. Pointer-shaped values (*T, chan,
+// map, func, unsafe.Pointer) fit in the interface data word and do not
+// allocate; nil is not a value.
+func reportIfBoxed(pass *analysis.Pass, expr ast.Expr, dst types.Type, what string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) || pointerShaped(src) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "interface %s boxes %s and may allocate in hot path", what, src.String())
+}
+
+// pointerShaped reports whether values of the type occupy exactly one
+// pointer word, making interface storage allocation-free.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

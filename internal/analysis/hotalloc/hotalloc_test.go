@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "./testdata/src/hot")
+}

@@ -1,0 +1,83 @@
+// Package hot is hotalloc test data.
+package hot
+
+import "fmt"
+
+type access struct {
+	id   uint64
+	next *access
+}
+
+type candidate struct {
+	rank, bank int
+}
+
+type sink interface{ accept(v any) }
+
+type engine struct {
+	scratch []candidate
+	free    *access
+	out     sink
+}
+
+// tick is annotated: every allocation construct inside is flagged.
+//
+//burstmem:hotpath
+func (e *engine) tick(now uint64) {
+	a := &access{id: now} // want `address of composite literal escapes`
+	_ = a
+	b := new(access) // want `new\(\.\.\.\) allocates in hot path`
+	_ = b
+	m := make(map[int]int) // want `make\(\.\.\.\) allocates in hot path`
+	_ = m
+	e.scratch = append(e.scratch, candidate{0, 1}) // want `append may grow its backing array`
+	f := func() {}                                 // want `closure allocates in hot path`
+	f()
+	e.out.accept(now) // want `interface argument boxes uint64`
+}
+
+// box is annotated: interface boxing via assignment, declaration,
+// conversion and return are flagged; pointer-shaped values are not.
+//
+//burstmem:hotpath
+func (e *engine) box(c candidate) any { // return below is flagged
+	var v any = c // want `interface declaration boxes`
+	v = c.rank    // want `interface assignment boxes int`
+	v = e.free    // pointer-shaped: not flagged
+	v = nil       // nil: not flagged
+	_ = any(c)    // want `interface conversion boxes`
+	_ = v
+	return c // want `interface return boxes`
+}
+
+// crash is annotated: allocations inside panic arguments are not flagged
+// (the simulator is already dead).
+//
+//burstmem:hotpath
+func crash(cyc uint64) {
+	if cyc == 0 {
+		panic(fmt.Sprintf("illegal cycle %d", cyc))
+	}
+}
+
+// pooled is annotated and demonstrates the suppression contract for
+// intentional slow paths.
+//
+//burstmem:hotpath
+func (e *engine) pooled() *access {
+	if e.free == nil {
+		//lint:ignore hotalloc pool refill is the amortized slow path
+		return &access{}
+	}
+	a := e.free
+	e.free = a.next
+	return a
+}
+
+// cold is NOT annotated: identical constructs pass without diagnostics.
+func (e *engine) cold() *access {
+	e.scratch = append(e.scratch, candidate{})
+	var v any = candidate{}
+	_ = v
+	return &access{}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestLoadTypeChecksAgainstExportData loads a real package of this module
+// and verifies full type information is available, including types imported
+// from compiler export data (the dram dependency of memctrl).
+func TestLoadTypeChecksAgainstExportData(t *testing.T) {
+	pkgs, err := Load("burstmem/internal/memctrl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "burstmem/internal/memctrl" {
+		t.Fatalf("unexpected package path %q", pkg.PkgPath)
+	}
+	obj := pkg.Types.Scope().Lookup("Access")
+	if obj == nil {
+		t.Fatal("Access not found in memctrl scope")
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("Access is %T, want struct", obj.Type().Underlying())
+	}
+	// The Outcome field's type comes from the dram export data.
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Outcome" {
+			continue
+		}
+		found = true
+		named, ok := f.Type().(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			t.Fatalf("Outcome type = %v, want named type from dram", f.Type())
+		}
+		if got := named.Obj().Pkg().Path(); got != "burstmem/internal/dram" {
+			t.Fatalf("Outcome type package = %q, want burstmem/internal/dram", got)
+		}
+	}
+	if !found {
+		t.Fatal("Access.Outcome field not found")
+	}
+	if len(pkg.TypesInfo.Uses) == 0 || len(pkg.TypesInfo.Types) == 0 {
+		t.Fatal("TypesInfo not populated")
+	}
+}
+
+// TestLoadPatterns verifies wildcard patterns resolve to multiple packages
+// and skip dependency-only entries.
+func TestLoadPatterns(t *testing.T) {
+	pkgs, err := Load("burstmem/internal/dram", "burstmem/internal/addrmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+}

@@ -231,12 +231,15 @@ func newBurst(h *memctrl.Host, name string, opt Options) *burstSched {
 
 // acquireGroup pops a pooled burst group (or allocates one) and starts it
 // with its first read.
+//
+//burstmem:hotpath
 func (s *burstSched) acquireGroup(row uint32, arrival uint64, first *memctrl.Access) *burstGroup {
 	var bg *burstGroup
 	if n := len(s.freeGroups); n > 0 {
 		bg = s.freeGroups[n-1]
 		s.freeGroups = s.freeGroups[:n-1]
 	} else {
+		//lint:ignore hotalloc pool refill: allocates only until the group pool warms up
 		bg = &burstGroup{}
 	}
 	bg.row = row
@@ -260,6 +263,8 @@ func (s *burstSched) Pending() (reads, writes int) { return s.pendingReads, s.pe
 // either joins an existing burst to its row or opens a new single-access
 // burst at the tail of the bank's burst queue. Writes append to the bank's
 // write queue in order.
+//
+//burstmem:hotpath
 func (s *burstSched) Enqueue(a *memctrl.Access, now uint64) {
 	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
 	st := s.bank(r, b)
@@ -285,6 +290,7 @@ func (s *burstSched) Enqueue(a *memctrl.Access, now uint64) {
 			return
 		}
 	}
+	//lint:ignore hotalloc per-bank burst slice keeps its capacity across bursts
 	st.bursts = append(st.bursts, s.acquireGroup(a.Loc.Row, now, a))
 	s.burstsNE[r] |= 1 << uint(b)
 	s.Stats.BurstsFormed++
@@ -297,6 +303,8 @@ func (s *burstSched) bank(rank, bank int) *bankState { return s.banks[rank][bank
 
 // Tick implements memctrl.Mechanism: adapt the threshold if dynamic, run
 // every bank arbiter, then the global transaction scheduler.
+//
+//burstmem:hotpath
 func (s *burstSched) Tick(now uint64) {
 	if s.dynamic {
 		s.adaptThreshold(now)
@@ -331,6 +339,8 @@ var _ memctrl.EventHinter = (*burstSched)(nil)
 // Beyond the engine's transaction-release bound, burst scheduling has two
 // internal timers: a pending read-preemption decision (resolved next tick)
 // and the dynamic-threshold adaptation deadline.
+//
+//burstmem:hotpath
 func (s *burstSched) NextEventCycle(now uint64) uint64 {
 	next := s.engine.NextEventCycle(now)
 	if s.opt.ReadPreemption {
@@ -350,6 +360,8 @@ func (s *burstSched) NextEventCycle(now uint64) uint64 {
 
 // arbitrateVacant is the bank arbiter subroutine (paper Fig. 5) for a bank
 // with no ongoing access.
+//
+//burstmem:hotpath
 func (s *burstSched) arbitrateVacant(rank, bank int, now uint64) {
 	st := s.bank(rank, bank)
 	occupancy := s.host.GlobalWrites()
@@ -395,6 +407,8 @@ func (s *burstSched) arbitrateVacant(rank, bank int, now uint64) {
 // has not issued can be interrupted (a completed transfer cannot be
 // undone); the engine clears ongoing slots at column issue, so any write
 // still installed here is interruptible.
+//
+//burstmem:hotpath
 func (s *burstSched) arbitrateOngoing(rank, bank int, now uint64) {
 	st := s.bank(rank, bank)
 	if st.preemptPending {
@@ -407,6 +421,8 @@ func (s *burstSched) arbitrateOngoing(rank, bank int, now uint64) {
 
 // installWrite removes w from the bank's write queue and makes it the
 // bank's ongoing access.
+//
+//burstmem:hotpath
 func (s *burstSched) installWrite(rank, bank int, w *memctrl.Access, piggyback bool) {
 	st := s.bank(rank, bank)
 	s.writes.Remove(w)
@@ -419,6 +435,8 @@ func (s *burstSched) installWrite(rank, bank int, w *memctrl.Access, piggyback b
 // ongoing. The next burst is the draining one if any; otherwise the oldest
 // burst (or, under LargestBurstFirst, the largest burst subject to the
 // aging guard).
+//
+//burstmem:hotpath
 func (s *burstSched) installRead(rank, bank int, now uint64) {
 	st := s.bank(rank, bank)
 	bg := s.selectBurst(st, now)
@@ -432,6 +450,8 @@ func (s *burstSched) installRead(rank, bank int, now uint64) {
 }
 
 // selectBurst picks the bank's next burst per the inter-burst policy.
+//
+//burstmem:hotpath
 func (s *burstSched) selectBurst(st *bankState, now uint64) *burstGroup {
 	if st.activeRow >= 0 {
 		for _, bg := range st.bursts {
@@ -465,6 +485,8 @@ func (s *burstSched) selectBurst(st *bankState, now uint64) *burstGroup {
 // queue and installs the first read of the next burst (Fig. 5 lines 10-11).
 // The write keeps any precharge/activate progress in the bank state — which
 // is how a preempting read can observe a row empty (paper Section 5.2).
+//
+//burstmem:hotpath
 func (s *burstSched) preempt(rank, bank int, w *memctrl.Access, now uint64) {
 	s.engine.ClearOngoing(rank, bank)
 	s.writes.PushFront(w)
@@ -474,6 +496,8 @@ func (s *burstSched) preempt(rank, bank int, w *memctrl.Access, now uint64) {
 
 // onColumn runs when an access's column transaction issues: maintain
 // pending counts and the end-of-burst piggyback window.
+//
+//burstmem:hotpath
 func (s *burstSched) onColumn(a *memctrl.Access, now uint64) {
 	rank, bank := int(a.Loc.Rank), int(a.Loc.Bank)
 	st := s.bank(rank, bank)
@@ -502,6 +526,7 @@ func (s *burstSched) onColumn(a *memctrl.Access, now uint64) {
 			if len(st.bursts) == 0 {
 				s.burstsNE[rank] &^= 1 << uint(bank)
 			}
+			//lint:ignore hotalloc pool return: capacity is bounded by peak live groups
 			s.freeGroups = append(s.freeGroups, bg)
 			st.endOfBurst = true
 			st.lastRow = a.Loc.Row
@@ -516,6 +541,8 @@ func (s *burstSched) onColumn(a *memctrl.Access, now uint64) {
 // oldestSafeWrite returns the oldest write in the bank whose line is not
 // wanted by any queued read, or nil when every write is hazardous (the
 // reads will drain first).
+//
+//burstmem:hotpath
 func (s *burstSched) oldestSafeWrite(st *bankState, wq *memctrl.AccessList) *memctrl.Access {
 	lineBytes := s.host.Config().Geometry.LineBytes
 	for w := wq.Front(); w != nil; w = w.Next() {
@@ -528,6 +555,8 @@ func (s *burstSched) oldestSafeWrite(st *bankState, wq *memctrl.AccessList) *mem
 
 // lineHasQueuedRead reports whether any queued read in the bank targets
 // the line.
+//
+//burstmem:hotpath
 func (s *burstSched) lineHasQueuedRead(st *bankState, line uint64, lineBytes int) bool {
 	for _, bg := range st.bursts {
 		for rd := bg.reads.Front(); rd != nil; rd = rd.Next() {
@@ -543,6 +572,8 @@ func (s *burstSched) lineHasQueuedRead(st *bankState, line uint64, lineBytes int
 // nil. Writes whose line a queued read still wants are skipped (a read to
 // the same row may have formed a fresh burst after the piggyback window
 // opened; letting the write pass it would be a WAR hazard).
+//
+//burstmem:hotpath
 func (s *burstSched) rowHitWrite(st *bankState, wq *memctrl.AccessList) *memctrl.Access {
 	lineBytes := s.host.Config().Geometry.LineBytes
 	for w := wq.Front(); w != nil; w = w.Next() {
@@ -563,6 +594,8 @@ func (s *burstSched) rowHitWrite(st *bankState, wq *memctrl.AccessList) *memctrl
 // arrival breaks ties. When nothing is unblocked, last bank/rank move to
 // the bank holding the oldest access so its burst starts next (Fig. 6
 // lines 14-15).
+//
+//burstmem:hotpath
 func (s *burstSched) schedule(now uint64) {
 	cands := s.engine.Candidates()
 	best := -1
@@ -606,6 +639,8 @@ func (s *burstSched) flatBank(rank, bank int) int {
 }
 
 // priority implements paper Table 2 (1 = highest, 8 = lowest).
+//
+//burstmem:hotpath
 func (s *burstSched) priority(c memctrl.Candidate) int {
 	read := c.Access.Kind == memctrl.KindRead
 	switch c.Cmd {
@@ -626,10 +661,13 @@ func (s *burstSched) priority(c memctrl.Candidate) int {
 		default:
 			return 8
 		}
-	default: // precharge and activate: overlap freely, no data bus needed
+	case dram.CmdPrecharge, dram.CmdActivate, dram.CmdRefresh:
+		// Precharge and activate overlap freely (no data bus needed);
+		// refresh is channel-internal and never appears as a candidate.
 		if read {
 			return 5
 		}
 		return 6
 	}
+	panic("core: unreachable command in priority")
 }

@@ -124,6 +124,10 @@ type Channel struct {
 	busUsed      bool
 
 	cmdThisCycle bool
+
+	// san is the build-tag-gated protocol sanitizer (see sanitize_on.go);
+	// zero-size with no-op methods unless built with -tags invariants.
+	san sanState
 }
 
 // NewChannel builds a channel with the given timing and organization.
@@ -165,6 +169,8 @@ func (c *Channel) Now() uint64 { return c.now }
 // banks by issuing precharges itself (one command per cycle), and then
 // holds the rank busy for tRFC. Afterwards every bank is precharged, which
 // is why most row-empty accesses trail refreshes (paper Section 5.2).
+//
+//burstmem:hotpath
 func (c *Channel) Tick(now uint64) bool {
 	c.now = now
 	c.cmdThisCycle = false
@@ -198,6 +204,7 @@ func (c *Channel) Tick(now uint64) bool {
 			}
 		}
 		if allClosed && !c.cmdThisCycle {
+			c.san.refresh(c, r, now)
 			rk.refreshUntil = now + uint64(c.T.TRFC)
 			rk.nextRefresh += uint64(c.T.TREFI)
 			c.Stats.Refreshes++
@@ -222,6 +229,8 @@ const NoEvent = ^uint64(0)
 // may issue a precharge on any coming cycle; command-blocking effects of an
 // in-progress refresh (refreshUntil) are accounted per command by
 // EarliestIssue instead.
+//
+//burstmem:hotpath
 func (c *Channel) NextEventCycle(now uint64) uint64 {
 	if c.T.TREFI == 0 {
 		return NoEvent
@@ -244,6 +253,8 @@ func (c *Channel) NextEventCycle(now uint64) uint64 {
 // other commands issue and no refresh starts — the skip logic guarantees
 // both by also waking at NextEventCycle). The cmdThisCycle slot is ignored:
 // the caller only asks about future cycles.
+//
+//burstmem:hotpath
 func (c *Channel) EarliestIssue(cmd Cmd, t Target) uint64 {
 	rk := &c.ranks[t.Rank]
 	bk := &rk.banks[t.Bank]
@@ -278,6 +289,9 @@ func (c *Channel) EarliestIssue(cmd Cmd, t Target) uint64 {
 		if need, busy := c.busNeed(t.Rank, true); busy && need > uint64(c.T.TCWD) {
 			at = maxU64(at, need-uint64(c.T.TCWD))
 		}
+	case CmdRefresh:
+		// Refresh is issued by the channel's own engine on its tREFI
+		// schedule; the controller never asks when it could issue one.
 	}
 	return at
 }
@@ -285,6 +299,8 @@ func (c *Channel) EarliestIssue(cmd Cmd, t Target) uint64 {
 // busNeed returns the first cycle the data bus could start a new transfer
 // for the rank (including turnaround gaps), and whether the bus has been
 // used at all.
+//
+//burstmem:hotpath
 func (c *Channel) busNeed(rankIdx int, isWrite bool) (uint64, bool) {
 	if !c.busUsed {
 		return 0, false
@@ -301,6 +317,8 @@ func (c *Channel) busNeed(rankIdx int, isWrite bool) (uint64, bool) {
 // AccountSkipped attributes k skipped idle cycles to the per-cycle sampled
 // channel statistics (bank state cannot change during a skip, so the sample
 // is constant).
+//
+//burstmem:hotpath
 func (c *Channel) AccountSkipped(k uint64) {
 	for r := range c.ranks {
 		for b := range c.ranks[r].banks {
@@ -320,6 +338,8 @@ func (c *Channel) OpenRow(rankIdx, bankIdx int) (uint32, bool) {
 
 // Classify reports the row outcome an access to (rank, bank, row) would see
 // in the current bank state.
+//
+//burstmem:hotpath
 func (c *Channel) Classify(t Target) RowOutcome {
 	b := &c.ranks[t.Rank].banks[t.Bank]
 	switch {
@@ -335,23 +355,28 @@ func (c *Channel) Classify(t Target) RowOutcome {
 // NextCommand returns the command an access to the target needs next, given
 // current bank state: CmdPrecharge for a row conflict, CmdActivate for a
 // closed bank, or the column command itself (read=true selects CmdRead).
+//
+//burstmem:hotpath
 func (c *Channel) NextCommand(t Target, read bool) Cmd {
 	switch c.Classify(t) {
 	case RowConflict:
 		return CmdPrecharge
 	case RowEmpty:
 		return CmdActivate
-	default:
+	case RowHit:
 		if read {
 			return CmdRead
 		}
 		return CmdWrite
 	}
+	panic("dram: unreachable row outcome in NextCommand")
 }
 
 // refreshBlocked reports whether commands to the rank are blocked by an
 // in-progress or pending refresh. Precharges stay allowed while a refresh
 // is pending so the rank can drain.
+//
+//burstmem:hotpath
 func (c *Channel) refreshBlocked(rankIdx int, cmd Cmd) bool {
 	rk := &c.ranks[rankIdx]
 	if rk.refreshUntil > c.now {
@@ -366,6 +391,8 @@ func (c *Channel) refreshBlocked(rankIdx int, cmd Cmd) bool {
 // CanIssue reports whether the command is unblocked at the current cycle:
 // all bank, rank and bus timing constraints are met and the command slot is
 // free.
+//
+//burstmem:hotpath
 func (c *Channel) CanIssue(cmd Cmd, t Target) bool {
 	if c.cmdThisCycle {
 		return false
@@ -411,12 +438,17 @@ func (c *Channel) CanIssue(cmd Cmd, t Target) bool {
 			return false
 		}
 		return c.busAvailable(t.Rank, true, now+uint64(c.T.TCWD))
+	case CmdRefresh:
+		// Only the channel's refresh engine issues refreshes.
+		return false
 	}
 	return false
 }
 
 // busAvailable checks data-bus occupancy and turnaround gaps for a transfer
 // that would start at dataStart.
+//
+//burstmem:hotpath
 func (c *Channel) busAvailable(rankIdx int, isWrite bool, dataStart uint64) bool {
 	if !c.busUsed {
 		return true
@@ -443,10 +475,13 @@ type IssueResult struct {
 // panics if the command is blocked: the controller must gate on CanIssue.
 // For column commands, autoPrecharge closes the bank automatically after
 // the access (the Close Page Autoprecharge controller policy).
+//
+//burstmem:hotpath
 func (c *Channel) Issue(cmd Cmd, t Target, autoPrecharge bool) IssueResult {
 	if !c.CanIssue(cmd, t) {
 		panic(fmt.Sprintf("dram: Issue of blocked command %v %+v at cycle %d", cmd, t, c.now))
 	}
+	c.san.checkIssue(c, cmd, t, c.now)
 	c.cmdThisCycle = true
 	c.Stats.Commands++
 	rk := &c.ranks[t.Rank]
@@ -509,7 +544,9 @@ func (c *Channel) RecordOutcome(o RowOutcome) {
 	c.Stats.Outcomes[o]++
 }
 
+//burstmem:hotpath
 func (c *Channel) issuePrecharge(rankIdx, bankIdx int) {
+	c.san.precharge(c, rankIdx, bankIdx, c.now)
 	bk := &c.ranks[rankIdx].banks[bankIdx]
 	c.Stats.Precharges++
 	bk.open = false
@@ -518,12 +555,16 @@ func (c *Channel) issuePrecharge(rankIdx, bankIdx int) {
 
 // autoClose models a column access with auto-precharge: the bank closes as
 // soon as its precharge constraint allows, without an explicit command.
+//
+//burstmem:hotpath
 func (c *Channel) autoClose(rankIdx, bankIdx int, preAt uint64) {
+	c.san.autoPrecharge(c, rankIdx, bankIdx, preAt)
 	bk := &c.ranks[rankIdx].banks[bankIdx]
 	bk.open = false
 	bk.nextActivate = maxU64(bk.nextActivate, preAt+uint64(c.T.TRP))
 }
 
+//burstmem:hotpath
 func (c *Channel) occupyBus(rankIdx int, isWrite bool, res IssueResult) {
 	c.busBusyUntil = res.DataEnd
 	c.busLastRank = rankIdx

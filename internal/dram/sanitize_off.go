@@ -1,0 +1,14 @@
+//go:build !invariants
+
+package dram
+
+// sanState is the disabled build of the DDR2 protocol sanitizer: a zero-size
+// field on Channel whose no-op methods inline away, so the hooks in the issue
+// path cost nothing. Build with -tags invariants to enable the shadow checker
+// in sanitize_on.go.
+type sanState struct{}
+
+func (sanState) checkIssue(c *Channel, cmd Cmd, t Target, now uint64)         {}
+func (sanState) precharge(c *Channel, rankIdx, bankIdx int, now uint64)       {}
+func (sanState) autoPrecharge(c *Channel, rankIdx, bankIdx int, preAt uint64) {}
+func (sanState) refresh(c *Channel, rankIdx int, now uint64)                  {}

@@ -64,6 +64,11 @@ type Access struct {
 
 	started bool
 
+	// san is the build-tag-gated pool-lifecycle sanitizer (see
+	// sanitize_on.go); zero-size with no-op methods unless built with
+	// -tags invariants.
+	san accessSan
+
 	// next/prev link the access into one intrusive AccessList (a
 	// mechanism's per-bank queue, or the controller's free list). An
 	// access is on at most one list at a time.
@@ -94,7 +99,10 @@ func (l *AccessList) Empty() bool { return l.n == 0 }
 func (l *AccessList) Front() *Access { return l.head }
 
 // PushBack appends a at the tail. a must not be on any list.
+//
+//burstmem:hotpath
 func (l *AccessList) PushBack(a *Access) {
+	a.san.checkLive(a, "list link")
 	a.prev = l.tail
 	a.next = nil
 	if l.tail != nil {
@@ -107,7 +115,10 @@ func (l *AccessList) PushBack(a *Access) {
 }
 
 // PushFront prepends a at the head. a must not be on any list.
+//
+//burstmem:hotpath
 func (l *AccessList) PushFront(a *Access) {
+	a.san.checkLive(a, "list link")
 	a.next = l.head
 	a.prev = nil
 	if l.head != nil {
@@ -120,6 +131,8 @@ func (l *AccessList) PushFront(a *Access) {
 }
 
 // Remove unlinks a, which must be on this list.
+//
+//burstmem:hotpath
 func (l *AccessList) Remove(a *Access) {
 	if a.prev != nil {
 		a.prev.next = a.next
@@ -136,6 +149,8 @@ func (l *AccessList) Remove(a *Access) {
 }
 
 // PopFront unlinks and returns the head access; nil when empty.
+//
+//burstmem:hotpath
 func (l *AccessList) PopFront() *Access {
 	a := l.head
 	if a != nil {
@@ -148,6 +163,8 @@ func (l *AccessList) PopFront() *Access {
 func (a *Access) Started() bool { return a.started }
 
 // Target returns the access's DRAM command target within its channel.
+//
+//burstmem:hotpath
 func (a *Access) Target() dram.Target {
 	return dram.Target{
 		Rank: int(a.Loc.Rank),
@@ -158,6 +175,8 @@ func (a *Access) Target() dram.Target {
 }
 
 // LineAddr returns the cache-line-aligned address used for RAW forwarding.
+//
+//burstmem:hotpath
 func (a *Access) LineAddr(lineBytes int) uint64 {
 	return a.Addr &^ uint64(lineBytes-1)
 }

@@ -28,6 +28,8 @@ func (q *BankQueues) List(r, b int) *AccessList { return &q.qs[r*q.banks+b] }
 func (q *BankQueues) Mask(r int) uint64 { return q.ne[r] }
 
 // PushBack appends a to its bank's queue (keyed by a.Loc).
+//
+//burstmem:hotpath
 func (q *BankQueues) PushBack(a *Access) {
 	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
 	q.qs[r*q.banks+b].PushBack(a)
@@ -36,6 +38,8 @@ func (q *BankQueues) PushBack(a *Access) {
 
 // PushFront prepends a to its bank's queue (e.g. a preempted write going
 // back to the head).
+//
+//burstmem:hotpath
 func (q *BankQueues) PushFront(a *Access) {
 	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
 	q.qs[r*q.banks+b].PushFront(a)
@@ -43,6 +47,8 @@ func (q *BankQueues) PushFront(a *Access) {
 }
 
 // Remove unlinks a from its bank's queue.
+//
+//burstmem:hotpath
 func (q *BankQueues) Remove(a *Access) {
 	r, b := int(a.Loc.Rank), int(a.Loc.Bank)
 	l := &q.qs[r*q.banks+b]
@@ -53,6 +59,8 @@ func (q *BankQueues) Remove(a *Access) {
 }
 
 // PopFront unlinks and returns the bank's head access; nil when empty.
+//
+//burstmem:hotpath
 func (q *BankQueues) PopFront(r, b int) *Access {
 	l := &q.qs[r*q.banks+b]
 	a := l.PopFront()

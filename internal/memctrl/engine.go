@@ -44,12 +44,16 @@ func NewEngine(host *Host, onColumn func(a *Access, now uint64)) *Engine {
 func (e *Engine) Ongoing(rank, bank int) *Access { return e.ongoing[rank][bank] }
 
 // SetOngoing installs the bank's ongoing access.
+//
+//burstmem:hotpath
 func (e *Engine) SetOngoing(rank, bank int, a *Access) {
 	e.ongoing[rank][bank] = a
 	e.occ[rank] |= 1 << uint(bank)
 }
 
 // ClearOngoing resets the bank's ongoing access (e.g. read preemption).
+//
+//burstmem:hotpath
 func (e *Engine) ClearOngoing(rank, bank int) {
 	e.ongoing[rank][bank] = nil
 	e.occ[rank] &^= 1 << uint(bank)
@@ -84,6 +88,8 @@ func (c Candidate) IsColumn() bool { return c.Cmd == dram.CmdRead || c.Cmd == dr
 // access. Blocked transactions are included (Unblocked=false) so policies
 // that need "oldest access" context (paper Fig. 6 lines 14-15) can see
 // them. The returned slice is reused across calls.
+//
+//burstmem:hotpath
 func (e *Engine) Candidates() []Candidate {
 	e.scratch = e.collectCandidates(e.scratch[:0])
 	return e.scratch
@@ -91,6 +97,8 @@ func (e *Engine) Candidates() []Candidate {
 
 // collectCandidates fills dst with the per-bank next transactions, walking
 // the occupied bitmaps in (rank, bank) order.
+//
+//burstmem:hotpath
 func (e *Engine) collectCandidates(dst []Candidate) []Candidate {
 	ch := e.host.Channel()
 	for r := range e.occ {
@@ -98,6 +106,7 @@ func (e *Engine) collectCandidates(dst []Candidate) []Candidate {
 			b := bits.TrailingZeros64(mask)
 			a := e.ongoing[r][b]
 			cmd := ch.NextCommand(a.Target(), a.Kind == KindRead)
+			//lint:ignore hotalloc appends into the caller's scratch slice, whose capacity is retained
 			dst = append(dst, Candidate{
 				Rank:      r,
 				Bank:      b,
@@ -115,6 +124,8 @@ func (e *Engine) collectCandidates(dst []Candidate) []Candidate {
 // ongoing access). Mechanisms with no internal timers use this directly as
 // their idle-skip hint: with no submissions, completions or refreshes in
 // between, the channel state is frozen and nothing can happen earlier.
+//
+//burstmem:hotpath
 func (e *Engine) NextEventCycle(now uint64) uint64 {
 	ch := e.host.Channel()
 	next := dram.NoEvent
@@ -135,6 +146,8 @@ func (e *Engine) NextEventCycle(now uint64) uint64 {
 // access completes: the completion is scheduled at its data end, the
 // onColumn hook runs, and the bank's ongoing slot clears. Issue records the
 // access start/outcome on its first transaction.
+//
+//burstmem:hotpath
 func (e *Engine) Issue(c Candidate, now uint64) {
 	ch := e.host.Channel()
 	a := c.Access

@@ -1,0 +1,12 @@
+//go:build !invariants
+
+package memctrl
+
+// accessSan is the disabled build of the access-pool lifecycle sanitizer: a
+// zero-size field on Access whose no-op methods inline away. Build with
+// -tags invariants to enable the poisoning checker in sanitize_on.go.
+type accessSan struct{}
+
+func (accessSan) acquired(a *Access, now uint64) {}
+func (accessSan) released(a *Access, now uint64) {}
+func (accessSan) checkLive(a *Access, op string) {}

@@ -1,0 +1,52 @@
+//go:build invariants
+
+package memctrl
+
+import "fmt"
+
+// This file is the enabled build of the access-pool lifecycle sanitizer
+// (build with -tags invariants). Every pooled Access carries a poison state:
+// releasing an access twice, or linking/scheduling one after its release,
+// panics with a cycle-stamped trace. Reading plain fields of a retained
+// pointer stays allowed — the pool documents that values persist until the
+// object is reused — but handing a released access back into the machinery
+// (lists, completion heap, start bookkeeping) is always a bug.
+
+// Access pool lifecycle states. The zero state covers accesses constructed
+// directly (tests, tooling) that never went through the pool; they are
+// treated as live.
+const (
+	sanFresh    uint8 = iota // never pooled
+	sanLive                  // handed out by acquire
+	sanReleased              // returned by release
+)
+
+// accessSan is the enabled lifecycle sanitizer state embedded in Access.
+type accessSan struct {
+	state      uint8
+	releasedAt uint64
+}
+
+func (s *accessSan) acquired(a *Access, now uint64) {
+	if s.state == sanLive {
+		panic(fmt.Sprintf("memctrl sanitizer: cycle %d: pool handed out %s which is still live", now, a))
+	}
+	s.state = sanLive
+	s.releasedAt = 0
+}
+
+func (s *accessSan) released(a *Access, now uint64) {
+	if s.state == sanReleased {
+		panic(fmt.Sprintf("memctrl sanitizer: cycle %d: double release of %s (first released at cycle %d)",
+			now, a, s.releasedAt))
+	}
+	s.state = sanReleased
+	s.releasedAt = now
+}
+
+func (s *accessSan) checkLive(a *Access, op string) {
+	if s.state == sanReleased {
+		panic(fmt.Sprintf("memctrl sanitizer: %s of %s after its release at cycle %d (use after release)",
+			op, a, s.releasedAt))
+	}
+}

@@ -120,6 +120,7 @@ func (s *bankInOrder) Enqueue(a *memctrl.Access, now uint64) {
 	}
 }
 
+//burstmem:hotpath
 func (s *bankInOrder) onColumn(a *memctrl.Access, now uint64) {
 	if a.Kind == memctrl.KindRead {
 		s.pendingReads--
@@ -130,6 +131,8 @@ func (s *bankInOrder) onColumn(a *memctrl.Access, now uint64) {
 }
 
 // Tick implements memctrl.Mechanism.
+//
+//burstmem:hotpath
 func (s *bankInOrder) Tick(now uint64) {
 	ch := s.host.Channel()
 	if s.pipelined {
@@ -217,6 +220,7 @@ func (s *rowHit) Enqueue(a *memctrl.Access, now uint64) {
 	}
 }
 
+//burstmem:hotpath
 func (s *rowHit) onColumn(a *memctrl.Access, now uint64) {
 	if a.Kind == memctrl.KindRead {
 		s.pendingReads--
@@ -230,6 +234,8 @@ func (s *rowHit) onColumn(a *memctrl.Access, now uint64) {
 // transactions, column accesses go first (oldest first, round-robin across
 // banks at equal age), then precharges and activates — keeping the data
 // bus busy while row operations overlap underneath.
+//
+//burstmem:hotpath
 func (s *rowHit) Tick(now uint64) {
 	ch := s.host.Channel()
 	for r := 0; r < s.ranks; r++ {
@@ -269,6 +275,8 @@ func (s *rowHit) Tick(now uint64) {
 
 // betterColFirst orders candidates: column transactions beat row
 // transactions; oldest access breaks ties.
+//
+//burstmem:hotpath
 func betterColFirst(a, b memctrl.Candidate) bool {
 	if a.IsColumn() != b.IsColumn() {
 		return a.IsColumn()
@@ -332,6 +340,7 @@ func (s *intel) Enqueue(a *memctrl.Access, now uint64) {
 	}
 }
 
+//burstmem:hotpath
 func (s *intel) onColumn(a *memctrl.Access, now uint64) {
 	if a.Kind == memctrl.KindRead {
 		s.pendingReads--
@@ -341,6 +350,8 @@ func (s *intel) onColumn(a *memctrl.Access, now uint64) {
 }
 
 // Tick implements memctrl.Mechanism.
+//
+//burstmem:hotpath
 func (s *intel) Tick(now uint64) {
 	ch := s.host.Channel()
 	for r := 0; r < s.ranks; r++ {
@@ -379,6 +390,7 @@ func (s *intel) Tick(now uint64) {
 	}
 }
 
+//burstmem:hotpath
 func betterIntel(a, b memctrl.Candidate) bool {
 	if a.Access.Started() != b.Access.Started() {
 		return a.Access.Started()
@@ -388,6 +400,8 @@ func betterIntel(a, b memctrl.Candidate) bool {
 
 // arbitrateVacant picks the bank's next ongoing access when no access is
 // in flight there.
+//
+//burstmem:hotpath
 func (s *intel) arbitrateVacant(r, b int) {
 	switch {
 	case s.host.WriteQueueFull() && !s.writes.List(r, b).Empty():
@@ -409,6 +423,8 @@ func (s *intel) arbitrateVacant(r, b int) {
 }
 
 // arbitrateOngoing handles read preemption of an in-flight write.
+//
+//burstmem:hotpath
 func (s *intel) arbitrateOngoing(r, b int) {
 	ongoing := s.engine.Ongoing(r, b)
 	if s.ongoingIsWrite[r][b] && !s.reads.List(r, b).Empty() && !s.host.WriteQueueFull() {
@@ -421,6 +437,8 @@ func (s *intel) arbitrateOngoing(r, b int) {
 
 // installRead picks the oldest row-hit read if the bank row is open, else
 // the oldest read.
+//
+//burstmem:hotpath
 func (s *intel) installRead(r, b int) {
 	q := s.reads.List(r, b)
 	pick := q.Front()
@@ -437,6 +455,7 @@ func (s *intel) installRead(r, b int) {
 	s.ongoingIsWrite[r][b] = false
 }
 
+//burstmem:hotpath
 func (s *intel) installWrite(r, b int, w *memctrl.Access) {
 	s.writes.Remove(w)
 	s.engine.SetOngoing(r, b, w)
@@ -445,6 +464,8 @@ func (s *intel) installWrite(r, b int, w *memctrl.Access) {
 
 // oldestSafeWrite returns the oldest write whose line no queued read
 // targets, or nil.
+//
+//burstmem:hotpath
 func (s *intel) oldestSafeWrite(r, b int) *memctrl.Access {
 	lineBytes := s.host.Config().Geometry.LineBytes
 	for w := s.writes.List(r, b).Front(); w != nil; w = w.Next() {
@@ -475,6 +496,7 @@ func newRoundRobin(ranks, banks int) *roundRobin {
 	return &roundRobin{ranks: ranks, banks: banks, byBank: make([]int, ranks*banks)}
 }
 
+//burstmem:hotpath
 func (rr *roundRobin) issue(e *memctrl.Engine, now uint64) {
 	total := rr.ranks * rr.banks
 	cands := e.Candidates()
@@ -503,14 +525,20 @@ func (rr *roundRobin) issue(e *memctrl.Engine, now uint64) {
 // mechanisms have internal timers: with no submissions or completions, the
 // only thing that can happen is an ongoing access's next transaction
 // becoming issuable, which the engine bounds.
+//
+//burstmem:hotpath
 func (s *bankInOrder) NextEventCycle(now uint64) uint64 { return s.engine.NextEventCycle(now) }
 
 // NextEventCycle implements memctrl.EventHinter.
+//
+//burstmem:hotpath
 func (s *rowHit) NextEventCycle(now uint64) uint64 { return s.engine.NextEventCycle(now) }
 
 // NextEventCycle implements memctrl.EventHinter. Read preemption needs no
 // extra hint: it triggers only on state that submissions and completions
 // change, both of which already wake the controller.
+//
+//burstmem:hotpath
 func (s *intel) NextEventCycle(now uint64) uint64 { return s.engine.NextEventCycle(now) }
 
 var (

@@ -7,7 +7,11 @@
 #   scripts/bench.sh -short     # quick smoke run (1 iteration, no file written)
 #
 # Each JSON entry records the benchmark case, simulated memory cycles per
-# wall-clock second, ns per run, bytes and allocations per run.
+# wall-clock second, ns per run, bytes and allocations per run, and the
+# steady-state allocation count (heap allocations inside the simulation
+# loop, excluding system construction — a few hundred pool warm-up
+# allocations per run when the allocation-free hot path holds, so growth
+# here means a per-cycle allocation crept in).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,16 +33,17 @@ BEGIN { print "["; first = 1 }
     name = $1
     sub(/^BenchmarkSimThroughput\//, "", name)
     sub(/-[0-9]+$/, "", name)
-    nsop = ""; cyc = ""; bop = ""; aop = ""
+    nsop = ""; cyc = ""; bop = ""; aop = ""; hot = ""
     for (i = 2; i <= NF; i++) {
         if ($(i+1) == "ns/op") nsop = $i
         if ($(i+1) == "simcycles/s") cyc = $i
         if ($(i+1) == "B/op") bop = $i
         if ($(i+1) == "allocs/op") aop = $i
+        if ($(i+1) == "hotallocs/op") hot = $i
     }
     if (!first) print ","
     first = 0
-    printf "  {\"case\": \"%s\", \"simcycles_per_sec\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, cyc, nsop, bop, aop
+    printf "  {\"case\": \"%s\", \"simcycles_per_sec\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"steady_state_allocs_per_op\": %s}", name, cyc, nsop, bop, aop, hot
 }
 END { print "\n]" }
 ' > "$OUT"

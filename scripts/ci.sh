@@ -10,8 +10,14 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== burstlint =="
+go run ./cmd/burstlint ./...
+
 echo "== go test -race =="
 go test -race ./...
+
+echo "== go test -tags invariants (protocol sanitizer armed) =="
+go test -tags invariants ./internal/mctest/ ./internal/sim/ ./internal/dram/ ./internal/memctrl/
 
 echo "== throughput bench (short) =="
 scripts/bench.sh -short
