@@ -40,6 +40,7 @@ import (
 	"burstmem/internal/dram"
 	"burstmem/internal/memctrl"
 	"burstmem/internal/sim"
+	"burstmem/internal/trace"
 	"burstmem/internal/workload"
 )
 
@@ -99,6 +100,38 @@ const (
 	RowEmpty    = dram.RowEmpty
 	RowConflict = dram.RowConflict
 )
+
+// Observability types (see internal/trace): a ring-buffered, zero-overhead-
+// when-detached tracer over the DRAM command stream, access lifecycle and
+// scheduler decisions, with per-interval derived metrics and Chrome
+// trace_event export for Perfetto.
+type (
+	// Tracer records simulation events; attach with System.AttachTracer
+	// or Controller.SetTracer.
+	Tracer = trace.Tracer
+	// TraceEvent is one fixed-size trace record.
+	TraceEvent = trace.Event
+	// TraceInterval aggregates one metrics window of a traced run.
+	TraceInterval = trace.Interval
+)
+
+// NewTracer builds a tracer holding up to events ring entries and, when
+// intervalCycles > 0, a per-interval metrics time series.
+func NewTracer(events int, intervalCycles uint64) *Tracer {
+	return trace.New(events, intervalCycles)
+}
+
+// WriteChromeTrace renders a traced run as Chrome trace_event JSON,
+// loadable in ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *Tracer, label string) error {
+	return trace.WriteChrome(w, t, label)
+}
+
+// RunSystem drives a caller-assembled System (e.g. one with a tracer
+// attached) through warmup and the measurement window.
+func RunSystem(cfg Config, sys *System, name string) (Result, error) {
+	return sim.RunSystem(cfg, sys, name)
+}
 
 // BestThreshold is the paper's experimentally determined optimal write
 // queue threshold (52 of a 64-entry write queue).

@@ -6,6 +6,7 @@
 //
 //	memsim -bench swim -mech Burst_TH -n 1000000
 //	memsim -bench mcf -mech BkInOrder -mapping bit-reversal -row-policy cpa
+//	memsim -bench swim -mech Burst_TH -trace out.json   # Perfetto timeline
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 
 	"burstmem/internal/memctrl"
 	"burstmem/internal/sim"
+	"burstmem/internal/stats"
+	"burstmem/internal/trace"
 	"burstmem/internal/workload"
 )
 
@@ -29,7 +32,11 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "override the profile's workload seed (0 = default)")
 		memfrac   = flag.Float64("memfrac", 0, "override the profile's memory fraction (0 = default)")
 		warmup    = flag.Uint64("warmup", 300_000, "warmup instructions")
-		traceFile = flag.String("trace", "", "replay a recorded trace file instead of a synthetic profile")
+		replay    = flag.String("replay", "", "replay a recorded trace file instead of a synthetic profile")
+
+		traceOut      = flag.String("trace", "", "write a Chrome trace_event JSON timeline (open in ui.perfetto.dev)")
+		traceEvents   = flag.Int("trace-events", 1<<20, "event ring capacity for -trace (oldest events overwritten)")
+		traceInterval = flag.Uint64("trace-interval", 1000, "metrics interval for -trace, in memory cycles")
 	)
 	flag.Parse()
 
@@ -63,20 +70,83 @@ func main() {
 		fatal(fmt.Errorf("unknown row policy %q", *rowPolicy))
 	}
 
-	var res sim.Result
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	var sys *sim.System
+	name := prof.Name
+	if *replay != "" {
+		f, err := os.Open(*replay)
 		fatal(err)
-		gen, err := workload.ParseTrace(*traceFile, f)
+		gen, err := workload.ParseTrace(*replay, f)
 		f.Close()
 		fatal(err)
-		res, err = sim.RunGenerator(cfg, *traceFile, []workload.Generator{gen}, factory)
+		name = *replay
+		sys, err = sim.NewSystemWithGenerators(cfg, []workload.Generator{gen}, factory)
 		fatal(err)
 	} else {
-		res, err = sim.Run(cfg, prof, factory)
+		sys, err = sim.NewSystem(cfg, prof, factory)
 		fatal(err)
 	}
+
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New(*traceEvents, *traceInterval)
+		sys.AttachTracer(tr)
+	}
+
+	res, err := sim.RunSystem(cfg, sys, name)
+	fatal(err)
 	printResult(res)
+
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		label := fmt.Sprintf("%s/%s", name, res.Mechanism)
+		err = trace.WriteChrome(f, tr, label)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatal(err)
+		fmt.Printf("trace             %s (%d events held, %d overwritten, %d metric intervals)\n",
+			*traceOut, tr.Len(), tr.Dropped(), len(tr.Intervals()))
+		printTraceLatency(tr)
+	}
+}
+
+// printTraceLatency reconstructs the enqueue-to-completion read-latency
+// distribution from the trace stream: the per-access data behind the mean
+// and percentiles above, limited to the window the ring still holds.
+// Forwarded reads are excluded (they never reach the device), as are
+// completions whose enqueue event was overwritten in the ring.
+func printTraceLatency(tr *trace.Tracer) {
+	const bin = 16
+	h := stats.NewHistogram(64)
+	enq := make(map[uint64]uint64)
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case trace.EvEnqueue:
+			if e.Arg1 == 0 { // read
+				enq[e.Arg0] = e.Cycle
+			}
+		case trace.EvComplete:
+			if e.Arg2&(trace.FlagWrite|trace.FlagForwarded) != 0 {
+				continue
+			}
+			start, ok := enq[e.Arg0]
+			if !ok {
+				continue
+			}
+			delete(enq, e.Arg0)
+			h.Add(int((e.Cycle - start) / bin))
+		}
+	}
+	if h.Total() == 0 {
+		return
+	}
+	fmt.Printf("traced read latency distribution (%d reads, %d-cycle bins):\n", h.Total(), bin)
+	for b := 0; b <= h.NonzeroMax(); b++ {
+		if c := h.Count(b); c > 0 {
+			fmt.Printf("  [%4d,%4d)  %8d  %5.1f%%\n", b*bin, (b+1)*bin, c, h.Fraction(b)*100)
+		}
+	}
 }
 
 func printResult(r sim.Result) {

@@ -39,6 +39,7 @@ var Analyzer = &analysis.Analyzer{
 var scopedPackages = []string{
 	"internal/core", "internal/memctrl", "internal/dram", "internal/sched",
 	"internal/sim", "internal/bus", "internal/cache", "internal/cpu",
+	"internal/trace",
 }
 
 // inScope reports whether the package is simulation logic.

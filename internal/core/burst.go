@@ -22,6 +22,7 @@ import (
 
 	"burstmem/internal/dram"
 	"burstmem/internal/memctrl"
+	"burstmem/internal/trace"
 )
 
 // Options selects a burst scheduling variant.
@@ -287,6 +288,8 @@ func (s *burstSched) Enqueue(a *memctrl.Access, now uint64) {
 			if n := bg.reads.Len(); n > s.Stats.MaxBurstLen {
 				s.Stats.MaxBurstLen = n
 			}
+			s.host.Tracer().Mark(now, trace.EvBurstJoin, s.host.ChannelIndex(), r, b,
+				a.Loc.Row, a.ID, uint64(bg.reads.Len()))
 			return
 		}
 	}
@@ -297,6 +300,7 @@ func (s *burstSched) Enqueue(a *memctrl.Access, now uint64) {
 	if s.Stats.MaxBurstLen == 0 {
 		s.Stats.MaxBurstLen = 1
 	}
+	s.host.Tracer().Mark(now, trace.EvBurstForm, s.host.ChannelIndex(), r, b, a.Loc.Row, a.ID, 1)
 }
 
 func (s *burstSched) bank(rank, bank int) *bankState { return s.banks[rank][bank] }
@@ -380,22 +384,30 @@ func (s *burstSched) arbitrateVacant(rank, bank int, now uint64) {
 		if w := s.oldestSafeWrite(st, wq); w != nil {
 			s.installWrite(rank, bank, w, false)
 			s.Stats.ForcedWrites++
+			s.host.Tracer().Mark(now, trace.EvForcedWrite, s.host.ChannelIndex(),
+				rank, bank, w.Loc.Row, w.ID, 0)
 		} else if len(st.bursts) > 0 {
 			s.installRead(rank, bank, now)
 		}
 	case s.opt.WritePiggyback && occupancy > s.opt.Threshold && st.endOfBurst && s.rowHitWrite(st, wq) != nil:
 		// Fig. 5 line 4: piggyback the oldest qualified write at
 		// the end of the burst.
-		s.installWrite(rank, bank, s.rowHitWrite(st, wq), true)
+		w := s.rowHitWrite(st, wq)
+		s.installWrite(rank, bank, w, true)
 		s.Stats.PiggybackedWrites++
+		s.host.Tracer().Mark(now, trace.EvPiggyback, s.host.ChannelIndex(),
+			rank, bank, w.Loc.Row, w.ID, 0)
 	case !wq.Empty() && s.pendingReads == 0 && len(st.bursts) == 0:
 		// Fig. 5 line 6: "write queue is not empty and read queue
 		// is empty" — reads are prioritized channel-wide, so
 		// writes drain only when no reads are outstanding at all.
 		// This aggressive read priority is what lets the write
 		// queue approach saturation (paper Section 5.1).
-		s.installWrite(rank, bank, wq.Front(), false)
+		w := wq.Front()
+		s.installWrite(rank, bank, w, false)
 		s.Stats.IdleWrites++
+		s.host.Tracer().Mark(now, trace.EvIdleWrite, s.host.ChannelIndex(),
+			rank, bank, w.Loc.Row, w.ID, 0)
 	case len(st.bursts) > 0:
 		// Fig. 5 line 8: first read in the next burst.
 		s.installRead(rank, bank, now)
@@ -491,6 +503,8 @@ func (s *burstSched) preempt(rank, bank int, w *memctrl.Access, now uint64) {
 	s.engine.ClearOngoing(rank, bank)
 	s.writes.PushFront(w)
 	s.Stats.Preemptions++
+	s.host.Tracer().Mark(now, trace.EvPreempt, s.host.ChannelIndex(),
+		rank, bank, w.Loc.Row, w.ID, 0)
 	s.installRead(rank, bank, now)
 }
 
@@ -630,8 +644,29 @@ func (s *burstSched) schedule(now uint64) {
 	}
 	c := cands[best]
 	s.engine.Issue(c, now)
+	s.host.Tracer().SchedPick(now, s.host.ChannelIndex(), c.Rank, c.Bank,
+		c.Access.ID, bestPri, cmdEventKind(c.Cmd))
 	s.lastRank = c.Rank
 	s.lastBank = s.flatBank(c.Rank, c.Bank)
+}
+
+// cmdEventKind maps a DRAM command to its trace event kind.
+//
+//burstmem:hotpath
+func cmdEventKind(c dram.Cmd) trace.Kind {
+	switch c {
+	case dram.CmdPrecharge:
+		return trace.EvPrecharge
+	case dram.CmdActivate:
+		return trace.EvActivate
+	case dram.CmdRead:
+		return trace.EvRead
+	case dram.CmdWrite:
+		return trace.EvWrite
+	case dram.CmdRefresh:
+		return trace.EvRefresh
+	}
+	panic("core: unreachable command in cmdEventKind")
 }
 
 func (s *burstSched) flatBank(rank, bank int) int {

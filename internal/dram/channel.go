@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"burstmem/internal/trace"
+)
 
 // Cmd is an SDRAM command type.
 type Cmd int
@@ -128,6 +132,12 @@ type Channel struct {
 	// san is the build-tag-gated protocol sanitizer (see sanitize_on.go);
 	// zero-size with no-op methods unless built with -tags invariants.
 	san sanState
+
+	// tr observes the command stream when attached (nil = tracing off;
+	// every emit is then an inlined nil check). chIdx labels events with
+	// this channel's index in the controller.
+	tr    *trace.Tracer
+	chIdx int
 }
 
 // NewChannel builds a channel with the given timing and organization.
@@ -149,6 +159,13 @@ func NewChannel(t Timing, ranks, banksPerRank int) (*Channel, error) {
 		}
 	}
 	return c, nil
+}
+
+// SetTracer attaches (or, with nil, detaches) a command-stream tracer.
+// chIdx is the channel's index in the controller, used to label events.
+func (c *Channel) SetTracer(tr *trace.Tracer, chIdx int) {
+	c.tr = tr
+	c.chIdx = chIdx
 }
 
 // Ranks returns the number of ranks on the channel.
@@ -210,6 +227,7 @@ func (c *Channel) Tick(now uint64) bool {
 			c.Stats.Refreshes++
 			c.Stats.Commands++
 			c.cmdThisCycle = true
+			c.tr.Command(now, trace.EvRefresh, c.chIdx, r, 0, 0, 0, 0)
 		}
 	}
 	return c.cmdThisCycle
@@ -493,6 +511,7 @@ func (c *Channel) Issue(cmd Cmd, t Target, autoPrecharge bool) IssueResult {
 		c.issuePrecharge(t.Rank, t.Bank)
 	case CmdActivate:
 		c.Stats.Activates++
+		c.tr.Command(now, trace.EvActivate, c.chIdx, t.Rank, t.Bank, t.Row, 0, 0)
 		bk.open = true
 		bk.row = t.Row
 		bk.nextRead = now + uint64(c.T.TRCD)
@@ -508,6 +527,7 @@ func (c *Channel) Issue(cmd Cmd, t Target, autoPrecharge bool) IssueResult {
 		c.Stats.Reads++
 		res.DataStart = now + uint64(c.T.TCL)
 		res.DataEnd = res.DataStart + uint64(c.T.DataCycles())
+		c.tr.Command(now, trace.EvRead, c.chIdx, t.Rank, t.Bank, t.Row, res.DataStart, res.DataEnd)
 		c.occupyBus(t.Rank, false, res)
 		gap := uint64(c.T.DataCycles())
 		bk.nextRead = now + gap
@@ -520,6 +540,7 @@ func (c *Channel) Issue(cmd Cmd, t Target, autoPrecharge bool) IssueResult {
 		c.Stats.Writes++
 		res.DataStart = now + uint64(c.T.TCWD)
 		res.DataEnd = res.DataStart + uint64(c.T.DataCycles())
+		c.tr.Command(now, trace.EvWrite, c.chIdx, t.Rank, t.Bank, t.Row, res.DataStart, res.DataEnd)
 		c.occupyBus(t.Rank, true, res)
 		rk.writeDataEnd = res.DataEnd
 		gap := uint64(c.T.DataCycles())
@@ -549,6 +570,7 @@ func (c *Channel) issuePrecharge(rankIdx, bankIdx int) {
 	c.san.precharge(c, rankIdx, bankIdx, c.now)
 	bk := &c.ranks[rankIdx].banks[bankIdx]
 	c.Stats.Precharges++
+	c.tr.Command(c.now, trace.EvPrecharge, c.chIdx, rankIdx, bankIdx, bk.row, 0, 0)
 	bk.open = false
 	bk.nextActivate = maxU64(bk.nextActivate, c.now+uint64(c.T.TRP))
 }
@@ -560,6 +582,9 @@ func (c *Channel) issuePrecharge(rankIdx, bankIdx int) {
 func (c *Channel) autoClose(rankIdx, bankIdx int, preAt uint64) {
 	c.san.autoPrecharge(c, rankIdx, bankIdx, preAt)
 	bk := &c.ranks[rankIdx].banks[bankIdx]
+	// Emitted at the issuing cycle (the stream must stay cycle-monotone);
+	// the effective close cycle preAt rides in the data args.
+	c.tr.Command(c.now, trace.EvAutoPrecharge, c.chIdx, rankIdx, bankIdx, bk.row, preAt, preAt)
 	bk.open = false
 	bk.nextActivate = maxU64(bk.nextActivate, preAt+uint64(c.T.TRP))
 }

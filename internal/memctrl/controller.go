@@ -6,6 +6,7 @@ import (
 	"burstmem/internal/addrmap"
 	"burstmem/internal/dram"
 	"burstmem/internal/stats"
+	"burstmem/internal/trace"
 )
 
 // RowPolicy is the static controller page policy (paper Section 2).
@@ -192,6 +193,10 @@ type Controller struct {
 	now         uint64
 	lastSubmit  uint64 // most recent successful Submit cycle, stored +1 (0 = never)
 
+	// tracer observes the access lifecycle when attached (nil = tracing
+	// off; every emit is then an inlined nil check).
+	tracer *trace.Tracer
+
 	// freeAccess heads the free list of recycled Access objects (linked
 	// through next). Fields reset at acquire time, not release time, so a
 	// pointer retained past completion keeps its final values until the
@@ -259,6 +264,20 @@ func New(cfg Config, factory Factory) (*Controller, error) {
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// SetTracer attaches (or, with nil, detaches) an observability tracer to
+// the controller and every channel. Tracing only observes — simulation
+// results are bit-identical with or without it.
+func (c *Controller) SetTracer(tr *trace.Tracer) {
+	c.tracer = tr
+	for i, ch := range c.channels {
+		ch.SetTracer(tr, i)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off). The nil
+// tracer is safe to emit on, so call sites never need to check.
+func (c *Controller) Tracer() *trace.Tracer { return c.tracer }
+
 // Mapper returns the address mapper in use.
 func (c *Controller) Mapper() addrmap.Mapper { return c.mapper }
 
@@ -322,6 +341,8 @@ func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uin
 			c.Stats.ForwardedReads++
 			c.Stats.AcceptedReads++
 			c.completions.push(completion{at: a.DataEnd, access: a})
+			c.tracer.Enqueue(c.now, chIdx, int(loc.Rank), int(loc.Bank), loc.Row, a.ID, false)
+			c.tracer.Forward(c.now, chIdx, a.ID)
 			return a, true
 		}
 	}
@@ -346,6 +367,7 @@ func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uin
 		c.Stats.AcceptedWrites++
 		c.pendingWriteLines[chIdx][line] = a
 	}
+	c.tracer.Enqueue(c.now, chIdx, int(loc.Rank), int(loc.Bank), loc.Row, a.ID, kind == KindWrite)
 	mech.Enqueue(a, c.now)
 	return a, true
 }
@@ -375,6 +397,7 @@ func (c *Controller) Tick(now uint64) {
 	if c.poolReads+c.poolWrites >= c.cfg.PoolSize {
 		c.Stats.PoolFullCycles++
 	}
+	c.tracer.SampleOccupancy(now, c.poolReads, c.poolWrites, c.poolWrites >= c.cfg.MaxWrites)
 }
 
 // NoEvent is the "no scheduled event" sentinel (== dram.NoEvent).
@@ -453,6 +476,9 @@ func (c *Controller) AccountSkipped(k uint64) {
 	for _, ch := range c.channels {
 		ch.AccountSkipped(k)
 	}
+	// Skipped cycles are (now, now+k]; occupancy is constant across a skip.
+	c.tracer.SampleOccupancySkipped(c.now, c.now+k, c.poolReads, c.poolWrites,
+		c.poolWrites >= c.cfg.MaxWrites)
 }
 
 // finish retires a completed access: statistics, pool release, callback.
@@ -478,6 +504,17 @@ func (c *Controller) finish(a *Access, at uint64) {
 	}
 	if !a.Forwarded {
 		c.Stats.BytesTransferred += uint64(c.cfg.Geometry.LineBytes)
+	}
+	if c.tracer != nil {
+		var flags uint64
+		if a.Kind == KindWrite {
+			flags |= trace.FlagWrite
+		}
+		if a.Forwarded {
+			flags |= trace.FlagForwarded
+		}
+		c.tracer.Complete(at, int(a.Loc.Channel), int(a.Loc.Rank), int(a.Loc.Bank),
+			a.Loc.Row, a.ID, a.Start, flags)
 	}
 	if a.OnComplete != nil {
 		a.OnComplete(a, at)
@@ -561,6 +598,10 @@ func (h *Host) ChannelIndex() int { return h.chIdx }
 // Config returns the controller configuration.
 func (h *Host) Config() Config { return h.ctrl.cfg }
 
+// Tracer returns the controller's attached tracer (nil when tracing is
+// off). The nil tracer is safe to emit on, so mechanisms never check.
+func (h *Host) Tracer() *trace.Tracer { return h.ctrl.tracer }
+
 // GlobalWrites returns the controller-wide pending write count, the
 // occupancy the paper's threshold compares against.
 func (h *Host) GlobalWrites() int { return h.ctrl.poolWrites }
@@ -590,6 +631,8 @@ func (h *Host) StartAccess(a *Access, now uint64) {
 	a.Start = now
 	a.Outcome = h.ch.Classify(a.Target())
 	h.ch.RecordOutcome(a.Outcome)
+	h.ctrl.tracer.Start(now, h.chIdx, int(a.Loc.Rank), int(a.Loc.Bank), a.Loc.Row,
+		a.ID, int(a.Outcome), a.Kind == KindWrite)
 }
 
 // CompleteAt schedules the access-finished event for the given cycle (the

@@ -17,6 +17,10 @@ import (
 // make it a no-op, so it can be wired unconditionally:
 //
 //	defer profiling.Start(*cpuprofile, *memprofile)()
+//
+// The stop function is idempotent: profiles are finalized once, and later
+// calls do nothing, so a deferred stop composes with an explicit one on an
+// early-exit path.
 func Start(cpuPath, memPath string) func() {
 	var cpuFile *os.File
 	if cpuPath != "" {
@@ -25,7 +29,12 @@ func Start(cpuPath, memPath string) func() {
 		check(pprof.StartCPUProfile(f))
 		cpuFile = f
 	}
+	stopped := false
 	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			check(cpuFile.Close())

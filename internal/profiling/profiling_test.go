@@ -1,0 +1,96 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestNoOpWithEmptyPaths: empty paths must create no files and return a
+// callable stop, so commands can wire profiling unconditionally.
+func TestNoOpWithEmptyPaths(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	stop := Start("", "")
+	stop()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("no-op profiling created files: %v", entries)
+	}
+}
+
+// TestWritesProfiles: both paths set must yield non-empty pprof files after
+// stop runs.
+func TestWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop := Start(cpu, mem)
+	// Burn a little CPU and heap so the profiles have something to record.
+	sink := 0
+	buf := make([]byte, 1<<16)
+	for i := range buf {
+		buf[i] = byte(i)
+		sink += int(buf[i])
+	}
+	_ = sink
+	stop()
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStopIdempotent: calling stop repeatedly must not re-finalize (a
+// second Close of the CPU profile file or a second heap write would fail
+// and exit); the profile written by the first call must survive.
+func TestStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop := Start(cpu, mem)
+	stop()
+	st1, err := os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop()
+	st2, err := os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ModTime() != st2.ModTime() || st1.Size() != st2.Size() {
+		t.Fatal("second stop rewrote the heap profile")
+	}
+}
+
+// TestRestartAfterStop: a fresh Start must work after a previous session
+// stopped (pprof allows only one active CPU profile at a time).
+func TestRestartAfterStop(t *testing.T) {
+	dir := t.TempDir()
+	first := Start(filepath.Join(dir, "a.pprof"), "")
+	first()
+	second := Start(filepath.Join(dir, "b.pprof"), "")
+	second()
+	for _, p := range []string{"a.pprof", "b.pprof"} {
+		if _, err := os.Stat(filepath.Join(dir, p)); err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+	}
+}

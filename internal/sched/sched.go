@@ -28,6 +28,7 @@ import (
 	"math/bits"
 
 	"burstmem/internal/memctrl"
+	"burstmem/internal/trace"
 )
 
 // BkInOrder returns the conventional in-order baseline factory: accesses
@@ -365,7 +366,7 @@ func (s *intel) Tick(now uint64) {
 		}
 		if s.preemption {
 			for m := occ; m != 0; m &= m - 1 {
-				s.arbitrateOngoing(r, bits.TrailingZeros64(m))
+				s.arbitrateOngoing(r, bits.TrailingZeros64(m), now)
 			}
 		}
 	}
@@ -425,12 +426,14 @@ func (s *intel) arbitrateVacant(r, b int) {
 // arbitrateOngoing handles read preemption of an in-flight write.
 //
 //burstmem:hotpath
-func (s *intel) arbitrateOngoing(r, b int) {
+func (s *intel) arbitrateOngoing(r, b int, now uint64) {
 	ongoing := s.engine.Ongoing(r, b)
 	if s.ongoingIsWrite[r][b] && !s.reads.List(r, b).Empty() && !s.host.WriteQueueFull() {
 		// Read preemption: push the write back and start the read.
 		s.engine.ClearOngoing(r, b)
 		s.writes.PushFront(ongoing)
+		s.host.Tracer().Mark(now, trace.EvPreempt, s.host.ChannelIndex(),
+			r, b, ongoing.Loc.Row, ongoing.ID, 0)
 		s.installRead(r, b)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"burstmem/internal/memctrl"
 	"burstmem/internal/sched"
 	"burstmem/internal/stats"
+	"burstmem/internal/trace"
 	"burstmem/internal/workload"
 )
 
@@ -326,6 +327,11 @@ func (s *System) MinRetired() uint64 {
 // MemCycle returns the current memory cycle.
 func (s *System) MemCycle() uint64 { return s.memCycle }
 
+// AttachTracer attaches an observability tracer to the memory system (see
+// internal/trace). Attach before running; tracing observes only and leaves
+// simulation results bit-identical.
+func (s *System) AttachTracer(tr *trace.Tracer) { s.Ctrl.SetTracer(tr) }
+
 // Run executes one simulation to the instruction target and collects the
 // result.
 func Run(cfg Config, prof workload.Profile, factory memctrl.Factory) (Result, error) {
@@ -334,6 +340,12 @@ func Run(cfg Config, prof workload.Profile, factory memctrl.Factory) (Result, er
 		return Result{}, err
 	}
 	return runSystem(cfg, sys, prof.Name)
+}
+
+// RunSystem drives a caller-assembled machine (e.g. one with a tracer
+// attached) through warmup and the measurement window.
+func RunSystem(cfg Config, sys *System, name string) (Result, error) {
+	return runSystem(cfg, sys, name)
 }
 
 // runSystem drives an assembled machine through warmup and the measurement

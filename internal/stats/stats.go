@@ -185,6 +185,18 @@ func (h *Histogram) Peak() (bucket int, fraction float64) {
 	return bucket, h.Fraction(bucket)
 }
 
+// NonzeroMax returns the highest occupied bucket, or -1 for an empty
+// histogram — the natural upper bound when printing a distribution without
+// trailing empty rows.
+func (h *Histogram) NonzeroMax() int {
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		if h.buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
 // Size returns the number of buckets.
 func (h *Histogram) Size() int { return len(h.buckets) }
 

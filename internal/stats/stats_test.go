@@ -196,3 +196,27 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%q\nwant:\n%q", got, want)
 	}
 }
+
+func TestHistogramNonzeroMax(t *testing.T) {
+	h := NewHistogram(16)
+	if got := h.NonzeroMax(); got != -1 {
+		t.Fatalf("empty NonzeroMax = %d, want -1", got)
+	}
+	h.Add(0)
+	if got := h.NonzeroMax(); got != 0 {
+		t.Fatalf("NonzeroMax = %d, want 0", got)
+	}
+	h.Add(7)
+	h.AddN(3, 5)
+	if got := h.NonzeroMax(); got != 7 {
+		t.Fatalf("NonzeroMax = %d, want 7", got)
+	}
+	h.Add(99) // clamps into the last bucket
+	if got := h.NonzeroMax(); got != h.Size()-1 {
+		t.Fatalf("NonzeroMax after clamp = %d, want %d", got, h.Size()-1)
+	}
+	h.Reset()
+	if got := h.NonzeroMax(); got != -1 {
+		t.Fatalf("NonzeroMax after Reset = %d, want -1", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Chrome trace_event export: renders a recorded run as the JSON Array
+// Format understood by Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Track layout: one process per memory channel; within it, thread 0 is the
+// data bus (column transfers render as duration slices) and thread
+// 1+rank*banks+bank is one bank (accesses render as slices from first
+// transaction to data end, commands and scheduler marks as instant
+// events). Pool occupancy and per-interval metrics render as counter
+// tracks on process 0. Timestamps are simulated memory cycles written as
+// microseconds — Perfetto's units are cosmetic, relative durations are
+// what matter.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one trace_event record. Optional fields use omitempty;
+// Dur is a pointer so a genuine zero-cycle duration still serializes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON Object Format document.
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// outcomeNames mirrors dram.RowOutcome without importing dram (the
+// dependency runs the other way).
+var outcomeNames = [3]string{"hit", "empty", "conflict"}
+
+// WriteChrome renders the tracer's ring and interval metrics as Chrome
+// trace JSON. label annotates the document (e.g. "swim/Burst_TH").
+func WriteChrome(w io.Writer, t *Tracer, label string) error {
+	if t == nil {
+		return fmt.Errorf("trace: cannot export a nil tracer")
+	}
+	events := t.Events()
+	doc := chromeFile{DisplayTimeUnit: "ns"}
+	if label != "" {
+		doc.OtherData = map[string]string{"label": label}
+	}
+	doc.TraceEvents = make([]chromeEvent, 0, 2*len(events)+64)
+
+	// Track naming metadata for every (chan, rank, bank) and data bus
+	// that actually appears in the stream.
+	type track struct{ pid, tid int }
+	var maxChan int
+	seen := make(map[track]string)
+	note := func(pid, tid int, name string) track {
+		k := track{pid, tid}
+		if _, ok := seen[k]; !ok {
+			seen[k] = name
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		return k
+	}
+	busTrack := func(ch int) track { return note(ch, 0, "data bus") }
+	bankTrack := func(ch, rank, bank int) track {
+		return note(ch, 1+rank*64+bank, fmt.Sprintf("rank %d bank %d", rank, bank))
+	}
+
+	instant := func(tk track, cycle uint64, name string, args map[string]any) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Ph: "i", Ts: cycle, Pid: tk.pid, Tid: tk.tid, S: "t", Args: args,
+		})
+	}
+	slice := func(tk track, start, end uint64, name string, args map[string]any) {
+		d := end - start
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Ph: "X", Ts: start, Dur: &d, Pid: tk.pid, Tid: tk.tid, Args: args,
+		})
+	}
+
+	for _, e := range events {
+		ch, r, b := int(e.Chan), int(e.Rank), int(e.Bank)
+		if ch > maxChan {
+			maxChan = ch
+		}
+		switch e.Kind {
+		case EvRead, EvWrite:
+			slice(busTrack(ch), e.Arg0, e.Arg1, e.Kind.String(), map[string]any{
+				"rank": r, "bank": b, "row": e.Row, "cmd_cycle": e.Cycle,
+			})
+			instant(bankTrack(ch, r, b), e.Cycle, e.Kind.String(), nil)
+		case EvPrecharge, EvActivate, EvAutoPrecharge:
+			instant(bankTrack(ch, r, b), e.Cycle, e.Kind.String(), map[string]any{"row": e.Row})
+		case EvRefresh:
+			instant(bankTrack(ch, r, 0), e.Cycle, fmt.Sprintf("REF rank %d", r), nil)
+		case EvEnqueue:
+			name := "enq read"
+			if e.Arg1 != 0 {
+				name = "enq write"
+			}
+			instant(bankTrack(ch, r, b), e.Cycle, name, map[string]any{"id": e.Arg0, "row": e.Row})
+		case EvForward:
+			instant(busTrack(ch), e.Cycle, "forward", map[string]any{"id": e.Arg0})
+		case EvStart:
+			oc := "?"
+			if e.Arg1 < 3 {
+				oc = outcomeNames[e.Arg1]
+			}
+			instant(bankTrack(ch, r, b), e.Cycle, "start "+oc, map[string]any{"id": e.Arg0})
+		case EvComplete:
+			name := fmt.Sprintf("read#%d", e.Arg0)
+			if e.Arg2&FlagWrite != 0 {
+				name = fmt.Sprintf("write#%d", e.Arg0)
+			}
+			if e.Arg2&FlagForwarded != 0 {
+				instant(busTrack(ch), e.Cycle, "forwarded "+name, nil)
+				break
+			}
+			slice(bankTrack(ch, r, b), e.Arg1, e.Cycle, name, map[string]any{"row": e.Row})
+		case EvPreempt, EvPiggyback, EvForcedWrite, EvIdleWrite, EvBurstForm, EvBurstJoin:
+			instant(bankTrack(ch, r, b), e.Cycle, e.Kind.String(), map[string]any{
+				"id": e.Arg0, "row": e.Row,
+			})
+		case EvSchedPick:
+			instant(busTrack(ch), e.Cycle, "pick", map[string]any{
+				"id": e.Arg0, "priority": e.Arg1, "cmd": Kind(e.Arg2).String(),
+			})
+		}
+	}
+
+	// Interval metrics as counter tracks on process 0 (counters sit on
+	// their own timeline; one sample per interval boundary).
+	for _, iv := range t.Intervals() {
+		doc.TraceEvents = append(doc.TraceEvents,
+			chromeEvent{Name: "pool occupancy", Ph: "C", Ts: iv.Start, Pid: 0, Tid: 0,
+				Args: map[string]any{
+					"reads":  iv.MeanOutstandingReads(),
+					"writes": iv.MeanOutstandingWrites(),
+				}},
+			chromeEvent{Name: "row hit rate", Ph: "C", Ts: iv.Start, Pid: 0, Tid: 0,
+				Args: map[string]any{"hit": iv.RowHitRate()}},
+			chromeEvent{Name: "data bus util", Ph: "C", Ts: iv.Start, Pid: 0, Tid: 0,
+				Args: map[string]any{"util": iv.DataBusUtil()}},
+		)
+	}
+
+	for ch := 0; ch <= maxChan; ch++ {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: ch, Tid: 0,
+			Args: map[string]any{"name": fmt.Sprintf("channel %d", ch)},
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

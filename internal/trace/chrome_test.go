@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// validPh is the set of trace_event phases this exporter may emit, all of
+// which Perfetto's JSON importer accepts.
+var validPh = map[string]bool{"X": true, "i": true, "C": true, "M": true}
+
+// sampleTracer records a small but representative stream: commands, a full
+// access lifecycle, scheduler marks and occupancy samples across two
+// metric intervals.
+func sampleTracer() *Tracer {
+	tr := New(256, 50)
+	tr.Enqueue(1, 0, 0, 2, 7, 10, false)
+	tr.Mark(1, EvBurstForm, 0, 0, 2, 7, 10, 0)
+	tr.SchedPick(2, 0, 0, 2, 10, 1, EvActivate)
+	tr.Command(2, EvActivate, 0, 0, 2, 7, 0, 0)
+	tr.Start(2, 0, 0, 2, 7, 10, 1, false)
+	tr.Command(5, EvRead, 0, 0, 2, 7, 10, 14)
+	tr.Complete(14, 0, 0, 2, 7, 10, 2, 0)
+	tr.Enqueue(20, 1, 1, 0, 3, 11, true)
+	tr.Command(25, EvPrecharge, 1, 1, 0, 3, 0, 0)
+	tr.Command(60, EvRefresh, 1, 0, 0, 0, 0, 0)
+	tr.Mark(62, EvPreempt, 1, 1, 0, 3, 11, 0)
+	tr.Forward(70, 1, 12)
+	tr.Complete(71, 1, 0, 0, 0, 12, 0, FlagForwarded)
+	for c := uint64(0); c < 100; c++ {
+		tr.SampleOccupancy(c, 1, 1, false)
+	}
+	return tr
+}
+
+// TestWriteChromeSchema validates the exporter output against the Chrome
+// trace_event JSON schema subset Perfetto accepts: a traceEvents array
+// whose entries carry name/ph/pid/tid, duration slices carry ts+dur, and
+// instants carry a scope.
+func TestWriteChromeSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleTracer(), "unit/test"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]string
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}{}); err != nil {
+		t.Fatalf("output is not a trace_event document: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents emitted")
+	}
+	if doc.OtherData["label"] != "unit/test" {
+		t.Fatalf("label missing: %v", doc.OtherData)
+	}
+	var slices, instants, counters, metas int
+	for i, e := range doc.TraceEvents {
+		name, ok := e["name"].(string)
+		if !ok || name == "" {
+			t.Fatalf("event %d: missing name: %v", i, e)
+		}
+		ph, ok := e["ph"].(string)
+		if !ok || !validPh[ph] {
+			t.Fatalf("event %d: bad ph %v", i, e["ph"])
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("event %d: missing pid", i)
+		}
+		if _, ok := e["tid"].(float64); !ok {
+			t.Fatalf("event %d: missing tid", i)
+		}
+		switch ph {
+		case "X":
+			slices++
+			if _, ok := e["dur"].(float64); !ok {
+				t.Fatalf("event %d: duration slice without dur: %v", i, e)
+			}
+			if _, ok := e["ts"].(float64); !ok {
+				t.Fatalf("event %d: slice without ts", i)
+			}
+		case "i":
+			instants++
+			if e["s"] != "t" {
+				t.Fatalf("event %d: instant without thread scope: %v", i, e)
+			}
+		case "C":
+			counters++
+			if _, ok := e["args"].(map[string]any); !ok {
+				t.Fatalf("event %d: counter without args", i)
+			}
+		case "M":
+			metas++
+		}
+	}
+	if slices == 0 || instants == 0 || counters == 0 || metas == 0 {
+		t.Fatalf("missing event classes: X=%d i=%d C=%d M=%d", slices, instants, counters, metas)
+	}
+	// The read's data transfer and the access slice must both be present.
+	out := buf.String()
+	for _, want := range []string{"read#10", "\"READ\"", "data bus", "rank 0 bank 2", "pool occupancy", "row hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q", want)
+		}
+	}
+}
+
+// TestWriteChromeDeterministic requires byte-identical exports across
+// runs of the same stream (map keys are sorted by encoding/json; nothing
+// else may introduce ordering noise).
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, sampleTracer(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, sampleTracer(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("exports differ between identical runs")
+	}
+}
+
+// TestWriteChromeNil rejects a nil tracer instead of writing an empty doc.
+func TestWriteChromeNil(t *testing.T) {
+	if err := WriteChrome(&bytes.Buffer{}, nil, ""); err == nil {
+		t.Fatal("want error for nil tracer")
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip throws arbitrary bytes at the trace-file parser and
+// checks that (1) it never panics or allocates without bound, (2) any
+// accepted trace survives WriteTrace -> ParseTrace with an op-identical
+// stream (the tracegen -record contract), and (3) accepted ops respect the
+// format's invariants (dependence flags only on loads).
+//
+// Run with: go test -fuzz FuzzTraceRoundTrip ./internal/workload/
+func FuzzTraceRoundTrip(f *testing.F) {
+	seeds := []string{
+		"# burstmem trace: seed (5 ops)\nL 0x1000\nLD 0x1040\nS 2048\nN 2\n",
+		"l 10\ns 0x10\nn 0\nL 0xffffffffffffffff\n",
+		"N 3\n\n  # indented comment\nN 4\nLd 0X7f\n",
+		"",
+		"L\n",
+		"L zz\n",
+		"N -1\n",
+		"X 5\n",
+		"N 99999999999999999999\n",
+		"N 16777216\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gen, err := ParseTrace("fuzz", bytes.NewReader(data))
+		if err != nil {
+			if gen != nil {
+				t.Fatal("ParseTrace returned both a generator and an error")
+			}
+			return
+		}
+		n := gen.Len()
+		if n == 0 {
+			t.Fatal("accepted trace has zero ops")
+		}
+		if n > maxTraceOps {
+			t.Fatalf("accepted trace has %d ops, over the %d cap", n, maxTraceOps)
+		}
+		if n > 1<<16 {
+			t.Skip("round trip cost unbounded; parser properties already checked")
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, gen, n); err != nil {
+			t.Fatalf("WriteTrace of accepted trace failed: %v", err)
+		}
+		// WriteTrace consumed exactly one loop, so gen's cyclic position is
+		// back at the start and the two streams can be compared directly.
+		back, err := ParseTrace("fuzz-rt", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of serialized trace failed: %v\n%s", err, buf.Bytes())
+		}
+		if back.Len() != n {
+			t.Fatalf("round trip changed length: %d -> %d\n%s", n, back.Len(), buf.Bytes())
+		}
+		for i := 0; i < n; i++ {
+			a, b := gen.Next(), back.Next()
+			if a != b {
+				t.Fatalf("op %d changed in round trip: %+v -> %+v", i, a, b)
+			}
+			if a.DepOnPrevLoad && a.Type != OpLoad {
+				t.Fatalf("op %d: dependence flag on non-load %+v", i, a)
+			}
+			if a.Type == OpNonMem && a.Addr != 0 {
+				t.Fatalf("op %d: non-memory op with address %#x", i, a.Addr)
+			}
+		}
+	})
+}

@@ -21,6 +21,12 @@ import (
 // A trace replays in a loop, so short traces still drive long simulations
 // (document the loop length when reporting results from looped traces).
 
+// maxTraceOps bounds a parsed trace's expanded length so a short
+// run-length line ("N 1000000000000") cannot make the parser allocate
+// without bound. 16M ops per loop is far beyond any simulated instruction
+// budget; longer recordings should be split.
+const maxTraceOps = 1 << 24
+
 // TraceGenerator replays a parsed op sequence cyclically.
 type TraceGenerator struct {
 	name string
@@ -52,6 +58,9 @@ func ParseTrace(name string, r io.Reader) (*TraceGenerator, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace %s:%d: %v", name, lineNo, err)
 			}
+			if len(ops) >= maxTraceOps {
+				return nil, fmt.Errorf("trace %s:%d: trace exceeds %d ops", name, lineNo, maxTraceOps)
+			}
 			t := OpLoad
 			if op == "S" {
 				t = OpStore
@@ -61,6 +70,9 @@ func ParseTrace(name string, r io.Reader) (*TraceGenerator, error) {
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("trace %s:%d: bad count %q", name, lineNo, fields[1])
+			}
+			if n > maxTraceOps-len(ops) {
+				return nil, fmt.Errorf("trace %s:%d: trace exceeds %d ops", name, lineNo, maxTraceOps)
 			}
 			for i := 0; i < n; i++ {
 				ops = append(ops, Op{Type: OpNonMem})

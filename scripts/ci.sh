@@ -19,6 +19,13 @@ go test -race ./...
 echo "== go test -tags invariants (protocol sanitizer armed) =="
 go test -tags invariants ./internal/mctest/ ./internal/sim/ ./internal/dram/ ./internal/memctrl/
 
+echo "== traced simulation (memsim -trace, exported JSON must parse) =="
+tracetmp="$(mktemp -d)"
+trap 'rm -rf "$tracetmp"' EXIT
+go run ./cmd/memsim -bench swim -mech Burst_TH -n 50000 -warmup 20000 \
+    -trace "$tracetmp/trace.json" -trace-interval 500 >/dev/null
+go run ./scripts/jsoncheck "$tracetmp/trace.json"
+
 echo "== throughput bench (short) =="
 scripts/bench.sh -short
 

@@ -1,0 +1,49 @@
+// jsoncheck validates an exported Chrome trace file from CI: the file must
+// be well-formed JSON with a non-empty traceEvents array where every entry
+// carries the mandatory trace_event fields. It is a build-free stand-in for
+// loading the file in ui.perfetto.dev.
+//
+//	go run ./scripts/jsoncheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	fatal(err)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	fatal(json.Unmarshal(data, &doc))
+	if len(doc.TraceEvents) == 0 {
+		fatal(fmt.Errorf("%s: empty traceEvents", os.Args[1]))
+	}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			fatal(fmt.Errorf("%s: event %d missing ph", os.Args[1], i))
+		}
+		if _, ok := ev["pid"]; !ok {
+			fatal(fmt.Errorf("%s: event %d missing pid", os.Args[1], i))
+		}
+		if _, ok := ev["ts"]; ph != "M" && !ok {
+			fatal(fmt.Errorf("%s: event %d (ph %q) missing ts", os.Args[1], i, ph))
+		}
+	}
+	fmt.Printf("%s: %d trace events OK\n", os.Args[1], len(doc.TraceEvents))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsoncheck:", err)
+		os.Exit(1)
+	}
+}
