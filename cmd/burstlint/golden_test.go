@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden file from current output")
+
+// TestGoldenDirty pins the CLI contract on a tree with findings: one
+// diagnostic per line, sorted by file then line then analyzer, paths
+// relative to the working directory, exit status 1.
+func TestGoldenDirty(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/dirty"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d on a dirty tree, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "issue(s)") {
+		t.Errorf("stderr missing the issue count: %q", stderr.String())
+	}
+
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got, want := stdout.String(), string(golden); got != want {
+		t.Errorf("output differs from %s (re-run with -update after intended changes)\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+
+	// Structural assertions independent of the golden bytes, so a stale
+	// -update cannot weaken the format contract.
+	lines := strings.Split(strings.TrimSuffix(stdout.String(), "\n"), "\n")
+	type pos struct {
+		file string
+		line int
+	}
+	var prev pos
+	seen := map[string]bool{}
+	for _, l := range lines {
+		parts := strings.SplitN(l, ":", 5)
+		if len(parts) != 5 {
+			t.Fatalf("line %q is not file:line:col: analyzer: message", l)
+		}
+		if filepath.IsAbs(parts[0]) {
+			t.Errorf("path %q not relativized", parts[0])
+		}
+		seen[strings.TrimSpace(parts[3])] = true
+		cur := pos{parts[0], atoi(t, parts[1])}
+		if prev.file != "" && (cur.file < prev.file || (cur.file == prev.file && cur.line < prev.line)) {
+			t.Errorf("diagnostics out of order: %v after %v", cur, prev)
+		}
+		prev = cur
+	}
+	for _, a := range []string{"hotalloc", "nilcheck", "errflow", "idxrange", "lockcheck"} {
+		if !seen[a] {
+			t.Errorf("no %s diagnostic in golden output (analyzers seen: %v)", a, seen)
+		}
+	}
+}
+
+// TestGoldenClean pins the other half of the contract: a clean tree
+// produces no output and exit status 0.
+func TestGoldenClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/clean"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d on a clean tree, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean tree produced output: %s", stdout.String())
+	}
+}
+
+// TestExitCodeLoadFailure: an unresolvable pattern is an operator error,
+// distinct from findings.
+func TestExitCodeLoadFailure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./no/such/dir"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code %d for a bad pattern, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("non-numeric line field %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

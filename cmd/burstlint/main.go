@@ -11,6 +11,19 @@
 //	detlint     nondeterminism sources in simulation packages
 //	hotalloc    heap allocations in //burstmem:hotpath functions
 //	exhaustive  non-exhaustive switches over protocol enums
+//	nilcheck    unguarded dereferences of possibly-nil *trace.Tracer values
+//	errflow     error values dropped before reaching a check
+//	idxrange    DRAM coordinates indexing mismatched-dimension containers
+//	lockcheck   Lock without matching Unlock on some path to return
+//
+// The last four run a worklist dataflow solver over per-function control
+// flow graphs (internal/analysis/cfg, internal/analysis/dataflow); the
+// first three are single-pass AST walks.
+//
+// Output is one diagnostic per line, `file:line:col: analyzer: message`,
+// sorted by file, line, then analyzer name; paths are shown relative to
+// the working directory when possible. Exit status is 1 when diagnostics
+// survive, 2 on load errors, 0 on a clean tree.
 //
 // Intentional exceptions are annotated in the source as
 // `//lint:ignore <analyzer> <reason>` on (or directly above) the flagged
@@ -20,38 +33,78 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"burstmem/internal/analysis"
 	"burstmem/internal/analysis/detlint"
+	"burstmem/internal/analysis/errflow"
 	"burstmem/internal/analysis/exhaustive"
 	"burstmem/internal/analysis/hotalloc"
+	"burstmem/internal/analysis/idxrange"
+	"burstmem/internal/analysis/lockcheck"
+	"burstmem/internal/analysis/nilcheck"
 )
 
+// analyzers is the full suite, in registration order (output order is by
+// position, not by analyzer).
+var analyzers = []*analysis.Analyzer{
+	detlint.Analyzer,
+	hotalloc.Analyzer,
+	exhaustive.Analyzer,
+	nilcheck.Analyzer,
+	errflow.Analyzer,
+	idxrange.Analyzer,
+	lockcheck.Analyzer,
+}
+
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: burstlint [packages]\n\nruns the burstmem analyzers (detlint, hotalloc, exhaustive)\nover the package patterns (default ./...)\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its process effects injected, so the golden test can
+// assert on the exact output and exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("burstlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: burstlint [packages]\n\nruns the burstmem analyzers (detlint, hotalloc, exhaustive, nilcheck,\nerrflow, idxrange, lockcheck) over the package patterns (default ./...)\n")
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := analysis.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "burstlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "burstlint:", err)
+		return 2
 	}
-	diags := analysis.Run(pkgs, []*analysis.Analyzer{
-		detlint.Analyzer,
-		hotalloc.Analyzer,
-		exhaustive.Analyzer,
-	})
+	diags := analysis.Run(pkgs, analyzers)
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = "" // keep absolute paths rather than guess
+	}
 	for _, d := range diags {
-		fmt.Println(d)
+		fmt.Fprintln(stdout, relativize(cwd, d.String()))
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "burstlint: %d issue(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "burstlint: %d issue(s)\n", len(diags))
+		return 1
 	}
+	return 0
+}
+
+// relativize rewrites a leading absolute file path to be relative to the
+// working directory, keeping output stable across checkouts (and golden
+// tests honest).
+func relativize(cwd, diag string) string {
+	if cwd == "" || !strings.HasPrefix(diag, cwd+string(filepath.Separator)) {
+		return diag
+	}
+	return diag[len(cwd)+1:]
 }

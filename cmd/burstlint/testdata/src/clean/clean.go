@@ -1,0 +1,39 @@
+// Package clean is burstlint golden-test data: the same shapes as the
+// dirty package, written correctly, so the CLI exits 0 with no output.
+package clean
+
+import (
+	"os"
+	"sync"
+
+	"burstmem/internal/addrmap"
+	"burstmem/internal/trace"
+)
+
+type state struct {
+	mu    sync.Mutex
+	banks []uint32
+	n     int
+}
+
+func checkedClose(f *os.File) error {
+	return f.Close()
+}
+
+func guardedTracer() int {
+	tr := trace.New(16, 0)
+	if tr == nil {
+		return 0
+	}
+	return tr.Len()
+}
+
+func matchedDimension(s *state, loc addrmap.Loc) uint32 {
+	return s.banks[loc.Bank]
+}
+
+func pairedLock(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

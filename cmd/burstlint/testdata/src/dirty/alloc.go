@@ -1,0 +1,14 @@
+package dirty
+
+// record is sized like a pooled simulation object.
+type record struct {
+	id   uint64
+	next *record
+}
+
+// tick allocates inside an annotated hot path (hotalloc).
+//
+//burstmem:hotpath
+func tick(now uint64) *record {
+	return &record{id: now}
+}

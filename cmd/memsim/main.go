@@ -76,7 +76,9 @@ func main() {
 		f, err := os.Open(*replay)
 		fatal(err)
 		gen, err := workload.ParseTrace(*replay, f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		fatal(err)
 		name = *replay
 		sys, err = sim.NewSystemWithGenerators(cfg, []workload.Generator{gen}, factory)

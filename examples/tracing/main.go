@@ -44,6 +44,9 @@ func main() {
 	// tracer costs nothing; an attached one only observes — results are
 	// bit-identical either way.
 	tr := burstmem.NewTracer(1<<20, 1000)
+	if !tr.Enabled() {
+		log.Fatal("tracer disabled: need a positive event capacity")
+	}
 	sys.AttachTracer(tr)
 
 	res, err := burstmem.RunSystem(cfg, sys, prof.Name)

@@ -73,10 +73,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run executes the analyzers over the loaded packages and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// surviving (non-suppressed) diagnostics sorted by position. A package
+// that failed to load contributes its load errors as diagnostics and is
+// not analyzed — its ASTs and type information may be partial, and every
+// analyzer here assumes both are whole.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			out = append(out, pkg.Errors...)
+			continue
+		}
 		ign := collectIgnores(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{

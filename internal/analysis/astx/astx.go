@@ -1,0 +1,150 @@
+// Package astx holds the small AST/type utilities shared by the dataflow
+// analyzers (nilcheck, errflow, idxrange, lockcheck): access-path
+// printing, function enumeration, hot-path directive detection, and named
+// type matching.
+package astx
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotpathDirective marks a function as part of the allocation-free
+// per-cycle path (see internal/analysis/hotalloc). nilcheck exempts such
+// functions: their tracer emits go through the nil-safe inlined wrappers.
+const HotpathDirective = "//burstmem:hotpath"
+
+// IsHotpath reports whether the function declaration's doc block carries
+// the hot-path directive.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, HotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncInfo is one analyzable function: a declaration or a function
+// literal, with the declaration it is lexically inside (nil for top-level
+// literals in var initializers).
+type FuncInfo struct {
+	Node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	Decl *ast.FuncDecl
+}
+
+// Body returns the function's body (nil for bodyless declarations).
+func (fi FuncInfo) Body() *ast.BlockStmt {
+	switch fn := fi.Node.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// Funcs returns every function with a body in the file: declarations and
+// all function literals nested inside them, each reported once. Analyzers
+// build one CFG per entry, so a literal's statements are analyzed in the
+// literal's own graph, not its enclosing function's.
+func Funcs(file *ast.File) []FuncInfo {
+	var out []FuncInfo
+	for _, d := range file.Decls {
+		decl, _ := d.(*ast.FuncDecl)
+		if decl != nil && decl.Body == nil {
+			continue
+		}
+		root := ast.Node(d)
+		if decl != nil {
+			out = append(out, FuncInfo{Node: decl, Decl: decl})
+			root = decl.Body
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, FuncInfo{Node: lit, Decl: decl})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// PathString renders a stable access-path key for an expression of the
+// form ident(.field)* — "tr", "c.tracer", "s.host.mu" — or "" when the
+// expression is anything else (calls, indexing, literals). Parens are
+// looked through.
+func PathString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return PathString(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := PathString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// HasPrefixPath reports whether path is equal to or an extension of
+// prefix ("c.tracer" has prefix "c" and "c.tracer", not "c.tr").
+func HasPrefixPath(path, prefix string) bool {
+	if !strings.HasPrefix(path, prefix) {
+		return false
+	}
+	return len(path) == len(prefix) || path[len(prefix)] == '.'
+}
+
+// NamedType returns the named type behind t, unwrapping one level of
+// pointer, or nil.
+func NamedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (or the pointee of a pointer t) is the named
+// type with the given name declared in a package whose import path ends
+// with pkgSuffix.
+func IsNamed(t types.Type, pkgSuffix, name string) bool {
+	n := NamedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// InScope reports whether the package import path matches one of the
+// suffix patterns ("internal/sim") or, for the special pattern "cmd/*",
+// contains a cmd path element.
+func InScope(pkgPath string, patterns []string) bool {
+	for _, pat := range patterns {
+		if pat == "cmd/*" {
+			if strings.HasPrefix(pkgPath, "cmd/") || strings.Contains(pkgPath, "/cmd/") {
+				return true
+			}
+			continue
+		}
+		if pkgPath == pat || strings.HasSuffix(pkgPath, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, errflow.Analyzer, "./testdata/src/cmd/ef")
+}
+
+// TestOutOfScope verifies packages outside the simulation/command set are
+// ignored even when they drop errors.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, errflow.Analyzer, "./testdata/src/tooling")
+}

@@ -1,0 +1,10 @@
+// Package tooling is errflow test data for the out-of-scope case: its
+// import path matches none of internal/sim, internal/workload, cmd/*.
+package tooling
+
+import "os"
+
+// drop would be flagged in a scoped package; here the analyzer is silent.
+func drop(f *os.File) {
+	f.Close()
+}

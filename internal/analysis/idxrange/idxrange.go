@@ -1,0 +1,359 @@
+// Package idxrange checks that DRAM coordinate values index
+// matching-dimension containers. An address decomposed by
+// internal/addrmap yields five coordinates — Channel, Rank, Bank, Row,
+// Col — that are all small integers, so `c.ranks[t.Bank]` compiles,
+// stays in bounds for most geometries, and silently simulates the wrong
+// machine. This is the classic units bug of memory-controller code and
+// the reason the paper's permutation mapper exists at all (bank bits are
+// deliberately scrambled; rank bits are not).
+//
+// The analysis runs forward dimension-taint over the CFG:
+//
+//   - sources: reads of a struct field named after a dimension (the
+//     addrmap.Loc fields, dram transaction coordinates, trace events) —
+//     the value is tainted with that dimension;
+//   - propagation: plain copies and numeric conversions
+//     (`int(loc.Bank)`) keep the taint;
+//   - kills: any arithmetic. `base.Bank ^ (base.Row & mask)` is how the
+//     permutation mapper deliberately mixes dimensions, so the result of
+//     an operator is dimensionless;
+//   - sinks: index expressions `xs[i]` where the container's name
+//     resolves to a dimension (`ranks`, `banks`, `perBank`, `rowState`)
+//     and i carries a different dimension's taint.
+//
+// Only the innermost index of a jagged container is checked against the
+// container's name: in `banks[r][b]` the name describes what one leaf
+// element is, not the outer dimension.
+package idxrange
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/astx"
+	"burstmem/internal/analysis/cfg"
+	"burstmem/internal/analysis/dataflow"
+)
+
+// Analyzer is the idxrange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "idxrange",
+	Doc:  "DRAM coordinate values (channel/rank/bank/row/col) must index containers of the same dimension",
+	Run:  run,
+}
+
+// dim is a DRAM coordinate dimension.
+type dim uint8
+
+const (
+	dimNone dim = iota
+	dimChannel
+	dimRank
+	dimBank
+	dimRow
+	dimCol
+)
+
+func (d dim) String() string {
+	switch d {
+	case dimChannel:
+		return "channel"
+	case dimRank:
+		return "rank"
+	case dimBank:
+		return "bank"
+	case dimRow:
+		return "row"
+	case dimCol:
+		return "col"
+	}
+	return "none"
+}
+
+// dimWords maps name fragments to dimensions. A container or field name
+// matches if, lowercased and with a trailing plural stripped, it equals
+// or ends with one of the words.
+var dimWords = []struct {
+	word string
+	d    dim
+}{
+	{"channel", dimChannel},
+	{"chan", dimChannel},
+	{"rank", dimRank},
+	{"bank", dimBank},
+	{"row", dimRow},
+	{"column", dimCol},
+	{"col", dimCol},
+}
+
+// dimOfName resolves an identifier to the dimension it names, or dimNone.
+func dimOfName(name string) dim {
+	lower := strings.ToLower(name)
+	lower = strings.TrimSuffix(lower, "es")
+	lower = strings.TrimSuffix(lower, "s")
+	for _, w := range dimWords {
+		if lower == w.word || strings.HasSuffix(lower, w.word) {
+			return w.d
+		}
+	}
+	return dimNone
+}
+
+// fact maps access paths of integer variables to the dimension they
+// carry. Absent paths are dimensionless.
+type fact map[string]dim
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, fi := range astx.Funcs(file) {
+			if fi.Body() == nil {
+				continue
+			}
+			checkFunc(pass, fi.Node)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node) {
+	g := cfg.New(fn)
+	p := &problem{pass: pass}
+	res := dataflow.Solve[fact](g, p)
+
+	for _, b := range g.Blocks {
+		f := clone(res.In[b])
+		for _, n := range b.Nodes {
+			p.checkNode(n, f)
+			p.step(n, f)
+		}
+	}
+}
+
+type problem struct {
+	pass *analysis.Pass
+}
+
+func (p *problem) Direction() dataflow.Direction { return dataflow.Forward }
+func (p *problem) Boundary() fact                { return fact{} }
+func (p *problem) Bottom() fact                  { return nil }
+
+func (p *problem) Join(a, b fact) fact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := fact{}
+	for k, v := range a {
+		if b[k] == v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (p *problem) Equal(a, b fact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *problem) Transfer(b *cfg.Block, in fact) fact {
+	out := clone(in)
+	for _, n := range b.Nodes {
+		p.step(n, out)
+	}
+	return out
+}
+
+func clone(f fact) fact {
+	out := fact{}
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// step applies one statement's taint effect in place.
+func (p *problem) step(n ast.Node, f fact) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			for _, l := range n.Lhs {
+				if path := astx.PathString(l); path != "" {
+					delete(f, path)
+				}
+			}
+			return
+		}
+		for i := range n.Lhs {
+			path := astx.PathString(n.Lhs[i])
+			if path == "" {
+				continue
+			}
+			delete(f, path)
+			if d := p.taintOf(n.Rhs[i], f); d != dimNone {
+				f[path] = d
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				delete(f, name.Name)
+				if i < len(vs.Values) {
+					if d := p.taintOf(vs.Values[i], f); d != dimNone {
+						f[name.Name] = d
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Loop variables are fresh each iteration and dimensionless.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e != nil {
+				if path := astx.PathString(e); path != "" {
+					delete(f, path)
+				}
+			}
+		}
+	}
+}
+
+// taintOf computes the dimension carried by an expression.
+func (p *problem) taintOf(e ast.Expr, f fact) dim {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return p.taintOf(e.X, f)
+	case *ast.Ident:
+		return f[e.Name]
+	case *ast.SelectorExpr:
+		if path := astx.PathString(e); path != "" {
+			if d, ok := f[path]; ok {
+				return d
+			}
+		}
+		if p.isDimField(e) {
+			return dimOfName(e.Sel.Name)
+		}
+	case *ast.CallExpr:
+		// A conversion keeps the taint; any other call produces a fresh
+		// dimensionless value.
+		if len(e.Args) == 1 {
+			if tv, ok := p.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return p.taintOf(e.Args[0], f)
+			}
+		}
+	}
+	// Operators (binary, unary, shifts) deliberately mix dimensions —
+	// the permutation mapper's bank XOR — so their results carry none.
+	return dimNone
+}
+
+// isDimField reports whether the selector reads an integer struct field
+// named after a dimension.
+func (p *problem) isDimField(sel *ast.SelectorExpr) bool {
+	s, ok := p.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	b, ok := s.Obj().Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && dimOfName(sel.Sel.Name) != dimNone
+}
+
+// checkNode reports mismatched-dimension indexing in one node, given the
+// taint state right before it.
+func (p *problem) checkNode(n ast.Node, f fact) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		ix, ok := x.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		p.checkIndex(ix, f)
+		return true
+	})
+}
+
+func (p *problem) checkIndex(ix *ast.IndexExpr, f fact) {
+	xt := p.pass.TypesInfo.Types[ix.X].Type
+	if xt == nil || !isSliceOrArray(xt) {
+		return // map/generic instantiation/string indexing
+	}
+	if rt := p.pass.TypesInfo.Types[ix].Type; rt != nil && isSliceOrArray(rt) {
+		return // outer index of a jagged container: the name describes the leaf
+	}
+	base := indexBase(ix.X)
+	if base == "" {
+		return
+	}
+	want := dimOfName(lastSegment(base))
+	if want == dimNone {
+		return
+	}
+	got := p.taintOf(ix.Index, f)
+	if got == dimNone || got == want {
+		return
+	}
+	p.pass.Reportf(ix.Index.Pos(), "%s value indexes %s (%s dimension); decode the address into the right coordinate",
+		got, base, want)
+}
+
+// indexBase renders the container's access path with interior index
+// expressions elided: banks[r][b] → "banks", c.ranks[r].banks[b] →
+// "c.ranks.banks". The last segment names the leaf dimension.
+func indexBase(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return indexBase(x.X)
+	case *ast.IndexExpr:
+		return indexBase(x.X)
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := indexBase(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func isSliceOrArray(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		// &rk.banks style pointers-to-array are rare here; indexing
+		// through them auto-derefs.
+		pt := t.Underlying().(*types.Pointer).Elem().Underlying()
+		_, ok := pt.(*types.Array)
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package idxrange_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/idxrange"
+)
+
+func TestIdxrange(t *testing.T) {
+	analysistest.Run(t, idxrange.Analyzer, "./testdata/src/ix")
+}

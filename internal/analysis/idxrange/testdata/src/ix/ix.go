@@ -1,0 +1,105 @@
+// Package ix is idxrange test data: DRAM coordinates indexing matching
+// and mismatching containers.
+package ix
+
+import "burstmem/internal/addrmap"
+
+type bankState struct {
+	open bool
+	row  uint32
+}
+
+type rankState struct {
+	banks []bankState
+}
+
+type channelState struct {
+	ranks []rankState
+}
+
+// txn mirrors a dram transaction: dimension-named integer fields on a
+// struct other than addrmap.Loc are sources too.
+type txn struct {
+	Rank int
+	Bank int
+}
+
+// direct: a Loc field indexing the wrong container.
+func direct(banks []bankState, loc addrmap.Loc) bankState {
+	return banks[loc.Rank] // want `rank value indexes banks \(bank dimension\)`
+}
+
+// matching: same code, right coordinate.
+func matching(banks []bankState, loc addrmap.Loc) bankState {
+	return banks[loc.Bank]
+}
+
+// throughVariable: taint survives a conversion and a copy.
+func throughVariable(ranks []rankState, loc addrmap.Loc) rankState {
+	b := int(loc.Bank)
+	i := b
+	return ranks[i] // want `bank value indexes ranks \(rank dimension\)`
+}
+
+// jagged: only the leaf index is checked against the container name;
+// here both coordinates are swapped and the leaf one is caught.
+func jagged(c *channelState, loc addrmap.Loc) bankState {
+	return c.ranks[int(loc.Rank)].banks[int(loc.Row)] // want `row value indexes c\.ranks\.banks \(bank dimension\)`
+}
+
+// txnFields: transaction coordinates are sources like Loc fields.
+func txnFields(c *channelState, t txn) *bankState {
+	rk := &c.ranks[t.Rank]
+	return &rk.banks[t.Rank] // want `rank value indexes rk\.banks \(bank dimension\)`
+}
+
+// arithmeticKills: the permutation mapper's XOR deliberately mixes
+// dimensions, so operator results are dimensionless.
+func arithmeticKills(banks []bankState, loc addrmap.Loc) bankState {
+	permuted := loc.Bank ^ uint8(loc.Row&3)
+	return banks[permuted]
+}
+
+// reassignClears: overwriting the variable drops its old dimension.
+func reassignClears(banks []bankState, loc addrmap.Loc, n int) bankState {
+	i := int(loc.Rank)
+	i = n % len(banks)
+	return banks[i]
+}
+
+// joinLoses: a variable holding different dimensions on different paths
+// is treated as dimensionless after the merge.
+func joinLoses(banks []bankState, loc addrmap.Loc, c bool) bankState {
+	var i int
+	if c {
+		i = int(loc.Bank)
+	} else {
+		i = int(loc.Rank)
+	}
+	return banks[i]
+}
+
+// loopVars: range variables are fresh counters, not coordinates.
+func loopVars(c *channelState) int {
+	open := 0
+	for r := range c.ranks {
+		for b := range c.ranks[r].banks {
+			if c.ranks[r].banks[b].open {
+				open++
+			}
+		}
+	}
+	return open
+}
+
+// unnamedContainer: a container whose name resolves to no dimension is
+// never checked.
+func unnamedContainer(scratch []int, loc addrmap.Loc) int {
+	return scratch[loc.Rank]
+}
+
+// suppressed: a deliberate cross-dimension index documents itself.
+func suppressed(banks []bankState, loc addrmap.Loc) bankState {
+	//lint:ignore idxrange fault-injection experiment aliases rank onto bank
+	return banks[loc.Rank]
+}

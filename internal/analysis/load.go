@@ -7,6 +7,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 )
 
 // Package is one loaded, type-checked package.
@@ -24,6 +26,13 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// Errors holds the package's parse and type-check failures as
+	// position-stamped diagnostics (Analyzer "load"). A package with
+	// errors is still returned — possibly with partial ASTs and type
+	// information — but Run reports its errors instead of running
+	// analyzers over it.
+	Errors []Diagnostic
 }
 
 // listedPkg mirrors the subset of `go list -json` output the loader needs.
@@ -35,7 +44,10 @@ type listedPkg struct {
 	Export     string
 	Standard   bool
 	DepOnly    bool
-	Error      *struct{ Err string }
+	Error      *struct {
+		Pos string
+		Err string
+	}
 }
 
 // Load resolves the package patterns with the go tool, parses each matched
@@ -46,6 +58,11 @@ type listedPkg struct {
 //
 // Test files are not loaded: the analyzers in this tree check simulation
 // and scheduling logic, not test scaffolding.
+//
+// A package that fails to parse or type-check does not abort the load:
+// its failures land in Package.Errors as "load" diagnostics (go list runs
+// with -e for the same reason). Only pattern-level failures — nothing
+// matched, go list itself broken — return an error.
 func Load(patterns ...string) ([]*Package, error) {
 	listed, err := goList(patterns)
 	if err != nil {
@@ -68,19 +85,33 @@ func Load(patterns ...string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, lp := range listed {
-		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+		if lp.DepOnly || lp.Standard || (len(lp.GoFiles) == 0 && lp.Error == nil) {
 			continue
 		}
+		if lp.Error != nil && len(lp.GoFiles) == 0 {
+			// No files at all: under a wildcard a tag-emptied directory
+			// is just not a package here; an explicitly named pattern
+			// that resolves to nothing is an operator error, not a
+			// finding.
+			if strings.Contains(lp.Error.Err, "build constraints exclude all Go files") {
+				continue
+			}
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var loadErrs []Diagnostic
 		var files []*ast.File
 		for _, name := range lp.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("analysis: %v", err)
+				loadErrs = append(loadErrs, parseDiagnostics(err, lp.Dir, name)...)
 			}
-			files = append(files, f)
+			if f != nil {
+				files = append(files, f) // partial AST: positions still resolve
+			}
 		}
 		info := &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
+			Instances:  map[*ast.Ident]types.Instance{},
 			Defs:       map[*ast.Ident]types.Object{},
 			Uses:       map[*ast.Ident]types.Object{},
 			Implicits:  map[ast.Node]types.Object{},
@@ -90,11 +121,25 @@ func Load(patterns ...string) ([]*Package, error) {
 		conf := types.Config{
 			Importer: imp,
 			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			// Collect every type error rather than stopping at the first;
+			// the returned error from Check is redundant with these.
+			Error: func(err error) {
+				if te, ok := err.(types.Error); ok {
+					loadErrs = append(loadErrs, Diagnostic{
+						Analyzer: loadAnalyzerName,
+						Pos:      te.Fset.Position(te.Pos),
+						Message:  te.Msg,
+					})
+					return
+				}
+				loadErrs = append(loadErrs, Diagnostic{
+					Analyzer: loadAnalyzerName,
+					Pos:      token.Position{Filename: lp.Dir},
+					Message:  err.Error(),
+				})
+			},
 		}
-		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
-		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
 		pkgs = append(pkgs, &Package{
 			PkgPath:   lp.ImportPath,
 			Dir:       lp.Dir,
@@ -102,6 +147,7 @@ func Load(patterns ...string) ([]*Package, error) {
 			Files:     files,
 			Types:     tpkg,
 			TypesInfo: info,
+			Errors:    loadErrs,
 		})
 	}
 	if len(pkgs) == 0 {
@@ -110,10 +156,33 @@ func Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-// goList shells out to `go list -export -deps -json` for the patterns.
+// loadAnalyzerName stamps loader failures so they sort and print like any
+// other diagnostic.
+const loadAnalyzerName = "load"
+
+// parseDiagnostics converts a parser failure (usually a scanner.ErrorList)
+// into load diagnostics.
+func parseDiagnostics(err error, dir, name string) []Diagnostic {
+	if list, ok := err.(scanner.ErrorList); ok {
+		out := make([]Diagnostic, len(list))
+		for i, e := range list {
+			out[i] = Diagnostic{Analyzer: loadAnalyzerName, Pos: e.Pos, Message: e.Msg}
+		}
+		return out
+	}
+	return []Diagnostic{{
+		Analyzer: loadAnalyzerName,
+		Pos:      token.Position{Filename: filepath.Join(dir, name)},
+		Message:  err.Error(),
+	}}
+}
+
+// goList shells out to `go list -e -export -deps -json` for the patterns.
+// The -e keeps broken packages in the listing (with their Error field set)
+// instead of failing the whole walk.
 func goList(patterns []string) ([]*listedPkg, error) {
 	args := append([]string{
-		"list", "-export", "-deps",
+		"list", "-e", "-export", "-deps",
 		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -131,9 +200,6 @@ func goList(patterns []string) ([]*listedPkg, error) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
-		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
 		}
 		out = append(out, &p)
 	}

@@ -2,6 +2,9 @@ package analysis
 
 import (
 	"go/types"
+	"path/filepath"
+	"slices"
+	"strings"
 	"testing"
 )
 
@@ -61,5 +64,91 @@ func TestLoadPatterns(t *testing.T) {
 	}
 	if len(pkgs) != 2 {
 		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+}
+
+// TestLoadGenerics verifies type-parameterized code loads cleanly and its
+// instantiations are recorded in TypesInfo.Instances — the map analyzers
+// need to see through Ring[uint64]-style uses.
+func TestLoadGenerics(t *testing.T) {
+	pkgs, err := Load("./testdata/src/generics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs[0]
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("unexpected load errors: %v", pkg.Errors)
+	}
+	if len(pkg.TypesInfo.Instances) == 0 {
+		t.Fatal("no generic instantiations recorded in TypesInfo.Instances")
+	}
+	// Note the receiver Ring[T] of Push records an instance too; look
+	// for the concrete one from use().
+	foundRing := false
+	for id, inst := range pkg.TypesInfo.Instances {
+		if id.Name == "Ring" && inst.TypeArgs.Len() == 1 && inst.TypeArgs.At(0).String() == "uint64" {
+			foundRing = true
+		}
+	}
+	if !foundRing {
+		t.Error("Ring[uint64] instantiation not recorded")
+	}
+}
+
+// TestLoadBuildTagExcluded verifies files behind an off-by-default build
+// tag stay out of the loaded file set: internal/dram's invariants
+// sanitizer must not be analyzed in a default build.
+func TestLoadBuildTagExcluded(t *testing.T) {
+	pkgs, err := Load("burstmem/internal/dram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs[0]
+	var names []string
+	for _, f := range pkg.Files {
+		names = append(names, filepath.Base(pkg.Fset.Position(f.Pos()).Filename))
+	}
+	if slices.Contains(names, "sanitize_on.go") {
+		t.Errorf("sanitize_on.go (//go:build invariants) loaded in default build: %v", names)
+	}
+	if !slices.Contains(names, "sanitize_off.go") {
+		t.Errorf("sanitize_off.go missing from default build: %v", names)
+	}
+}
+
+// TestLoadBrokenPackage verifies a type-check failure becomes per-package
+// diagnostics, not an aborted load, and that Run reports them instead of
+// analyzing the partial package.
+func TestLoadBrokenPackage(t *testing.T) {
+	pkgs, err := Load("./testdata/src/broken")
+	if err != nil {
+		t.Fatalf("Load returned a hard error for a broken package: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Errors) < 2 {
+		t.Fatalf("got %d load errors, want at least the two type errors: %v", len(pkg.Errors), pkg.Errors)
+	}
+	for _, d := range pkg.Errors {
+		if d.Analyzer != "load" {
+			t.Errorf("load error stamped %q, want load: %v", d.Analyzer, d)
+		}
+		if !strings.HasSuffix(d.Pos.Filename, "broken.go") || d.Pos.Line == 0 {
+			t.Errorf("load error lacks a usable position: %v", d)
+		}
+	}
+
+	// Run must report the load errors and skip analyzers: a panicking
+	// analyzer proves it was never invoked on the broken package.
+	boom := &Analyzer{
+		Name: "boom",
+		Doc:  "panics if run",
+		Run:  func(*Pass) { panic("analyzer ran on a broken package") },
+	}
+	diags := Run(pkgs, []*Analyzer{boom})
+	if len(diags) != len(pkg.Errors) {
+		t.Fatalf("Run returned %d diagnostics, want the %d load errors", len(diags), len(pkg.Errors))
 	}
 }

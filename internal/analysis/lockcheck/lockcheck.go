@@ -1,0 +1,276 @@
+// Package lockcheck verifies lock discipline on sync.Mutex and
+// sync.RWMutex values: every Lock must reach its matching Unlock on all
+// paths to return. The experiment harness aggregates results from worker
+// goroutines under small mutexes, and an early return between Lock and
+// Unlock deadlocks the sweep only when a particular workload/geometry
+// combination takes that branch — precisely the kind of bug a -race CI
+// stage cannot see (no data race, just a stuck run).
+//
+// The analysis is a forward may-state bitset over the CFG, one state per
+// mutex access path and mode (write Lock/Unlock, read RLock/RUnlock
+// tracked independently):
+//
+//   - Lock while possibly held (same goroutine) — report;
+//   - Unlock while possibly not held — report;
+//   - possibly held at function exit — report at the acquiring Lock.
+//
+// Deferred unlocks are handled by construction: the CFG routes every
+// return through the deferred-call chain, so `mu.Lock(); defer
+// mu.Unlock()` reaches Exit in the released state without special cases.
+// Calls inside `go` statements and function literals run on other
+// goroutines or at another time and are excluded from the block effect;
+// paths ending in panic/os.Exit never reach Exit and are not required to
+// release (the process is gone).
+//
+// Double-RLock is deliberately not reported: read locks are shared and
+// re-acquisition by the same goroutine, while inadvisable, is the
+// documented behaviour the repo relies on nowhere — flagging it would
+// only generate noise on reader helpers calling reader helpers.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/astx"
+	"burstmem/internal/analysis/cfg"
+	"burstmem/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "every sync.Mutex/RWMutex Lock must reach its matching Unlock on all paths to return",
+	Run:  run,
+}
+
+// State bits: a mutex may be in either or both states where paths merge.
+const (
+	mayUnlocked uint8 = 1 << iota
+	mayLocked
+)
+
+// lockState is one mutex's may-state plus the position of the earliest
+// Lock that could have acquired it (for exit reports).
+type lockState struct {
+	bits uint8
+	pos  token.Pos
+}
+
+// fact maps "path/mode" keys ("h.mu/w", "s.cache.mu/r") to states. An
+// absent key means the function has not touched that mutex: implicitly
+// unlocked.
+type fact map[string]lockState
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, fi := range astx.Funcs(file) {
+			if fi.Body() == nil {
+				continue
+			}
+			checkFunc(pass, fi.Node)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node) {
+	g := cfg.New(fn)
+	p := &problem{pass: pass}
+	res := dataflow.Solve[fact](g, p)
+
+	// Replay for call-site reports: each Lock/Unlock sees the state the
+	// solver computed just before it.
+	for _, b := range g.Blocks {
+		f := clone(res.In[b])
+		for _, n := range b.Nodes {
+			p.apply(n, f, true)
+		}
+	}
+
+	// Exit report: anything possibly held when the function returns.
+	exit := res.In[g.Exit]
+	keys := make([]string, 0, len(exit))
+	for k := range exit {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := exit[k]
+		if st.bits&mayLocked == 0 || !st.pos.IsValid() {
+			continue
+		}
+		path, mode, _ := strings.Cut(k, "/")
+		p.pass.Reportf(st.pos, "%s.%s may still be held at return; missing %s on some path",
+			path, lockName(mode), unlockName(mode))
+	}
+}
+
+func lockName(mode string) string {
+	if mode == "r" {
+		return "RLock()"
+	}
+	return "Lock()"
+}
+
+func unlockName(mode string) string {
+	if mode == "r" {
+		return "RUnlock()"
+	}
+	return "Unlock()"
+}
+
+type problem struct {
+	pass *analysis.Pass
+}
+
+func (p *problem) Direction() dataflow.Direction { return dataflow.Forward }
+func (p *problem) Boundary() fact                { return fact{} }
+func (p *problem) Bottom() fact                  { return nil }
+
+func (p *problem) Join(a, b fact) fact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := fact{}
+	merge := func(x, y fact) {
+		for k, v := range x {
+			w, ok := y[k]
+			if !ok {
+				w = lockState{bits: mayUnlocked} // untouched on the other path
+			}
+			s := lockState{bits: v.bits | w.bits, pos: v.pos}
+			if !s.pos.IsValid() || (w.pos.IsValid() && w.pos < s.pos) {
+				s.pos = w.pos
+			}
+			out[k] = s
+		}
+	}
+	merge(a, b)
+	merge(b, a)
+	return out
+}
+
+func (p *problem) Equal(a, b fact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *problem) Transfer(b *cfg.Block, in fact) fact {
+	if in == nil {
+		return nil // unreachable
+	}
+	out := clone(in)
+	for _, n := range b.Nodes {
+		p.apply(n, out, false)
+	}
+	return out
+}
+
+func clone(f fact) fact {
+	out := fact{}
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// apply folds one node's lock operations into the fact. With report set
+// it also diagnoses double-Lock and Unlock-of-unlocked at each site.
+// Deferred and go'd calls do not execute here: the former reach the
+// CFG's defer-chain blocks as bare CallExprs, the latter run on another
+// goroutine whose locking this function-local analysis cannot order.
+func (p *problem) apply(n ast.Node, f fact, report bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			p.applyCall(x, f, report)
+		}
+		return true
+	})
+}
+
+func (p *problem) applyCall(call *ast.CallExpr, f fact, report bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	mode, acquire, ok := lockMethod(sel.Sel.Name)
+	if !ok || !p.isMutexMethod(sel) {
+		return
+	}
+	path := astx.PathString(sel.X)
+	if path == "" {
+		return
+	}
+	key := path + "/" + mode
+	st := f[key]
+	if st.bits == 0 {
+		st.bits = mayUnlocked // first touch: function entered with it free
+	}
+	if acquire {
+		if report && mode == "w" && st.bits&mayLocked != 0 {
+			p.pass.Reportf(call.Pos(), "%s.Lock() may be called with %s already held", path, path)
+		}
+		f[key] = lockState{bits: mayLocked, pos: call.Pos()}
+		return
+	}
+	if report && st.bits&mayUnlocked != 0 {
+		p.pass.Reportf(call.Pos(), "%s.%s may be called with %s not held", path, sel.Sel.Name+"()", path)
+	}
+	f[key] = lockState{bits: mayUnlocked}
+}
+
+// lockMethod classifies a method name: mode "w" or "r", acquire or
+// release.
+func lockMethod(name string) (mode string, acquire, ok bool) {
+	switch name {
+	case "Lock":
+		return "w", true, true
+	case "Unlock":
+		return "w", false, true
+	case "RLock":
+		return "r", true, true
+	case "RUnlock":
+		return "r", false, true
+	}
+	return "", false, false
+}
+
+// isMutexMethod reports whether the selected method belongs to
+// sync.Mutex or sync.RWMutex, including promotion through embedding.
+func (p *problem) isMutexMethod(sel *ast.SelectorExpr) bool {
+	if s, ok := p.pass.TypesInfo.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return isMutex(recv.Type())
+			}
+		}
+		return false
+	}
+	// Package-qualified or untyped fallback: look at the receiver
+	// expression's type directly.
+	if tv, ok := p.pass.TypesInfo.Types[sel.X]; ok {
+		return isMutex(tv.Type)
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	return astx.IsNamed(t, "sync", "Mutex") || astx.IsNamed(t, "sync", "RWMutex")
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "./testdata/src/lk")
+}

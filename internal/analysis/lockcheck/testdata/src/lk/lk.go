@@ -1,0 +1,139 @@
+// Package lk is lockcheck test data: lock/unlock pairing across
+// branches, defers and early returns.
+package lk
+
+import (
+	"os"
+	"sync"
+)
+
+type harness struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	cache map[string]int
+}
+
+// straightLine pairs Lock with Unlock: clean.
+func (h *harness) straightLine(k string, v int) {
+	h.mu.Lock()
+	h.cache[k] = v
+	h.mu.Unlock()
+}
+
+// deferred releases through the defer chain on every return: clean.
+func (h *harness) deferred(k string) (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.cache[k]
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// earlyReturn leaks the lock on the miss path.
+func (h *harness) earlyReturn(k string) int {
+	h.mu.Lock() // want `h\.mu\.Lock\(\) may still be held at return; missing Unlock\(\) on some path`
+	v, ok := h.cache[k]
+	if !ok {
+		return 0
+	}
+	h.mu.Unlock()
+	return v
+}
+
+// doubleLock re-acquires a mutex the same goroutine already holds:
+// guaranteed deadlock.
+func (h *harness) doubleLock(k string, v int) {
+	h.mu.Lock()
+	h.cache[k] = v
+	h.mu.Lock() // want `h\.mu\.Lock\(\) may be called with h\.mu already held`
+	h.mu.Unlock()
+}
+
+// unlockUnlocked releases on a path where no Lock happened.
+func (h *harness) unlockUnlocked(c bool) {
+	if c {
+		h.mu.Lock()
+	}
+	h.mu.Unlock() // want `h\.mu\.Unlock\(\) may be called with h\.mu not held`
+}
+
+// readLock pairs RLock with RUnlock; the modes are independent, so the
+// write Unlock below does not satisfy the read acquisition.
+func (h *harness) readLock(k string) int {
+	h.rw.RLock()
+	v := h.cache[k]
+	h.rw.RUnlock()
+	return v
+}
+
+// modeMismatch releases the wrong side of an RWMutex.
+func (h *harness) modeMismatch(k string) int {
+	h.rw.RLock() // want `h\.rw\.RLock\(\) may still be held at return; missing RUnlock\(\) on some path`
+	v := h.cache[k]
+	h.rw.Unlock() // want `h\.rw\.Unlock\(\) may be called with h\.rw not held`
+	return v
+}
+
+// branches release on every path: the join sees only the unlocked state.
+func (h *harness) branches(k string, c bool) int {
+	h.mu.Lock()
+	if c {
+		v := h.cache[k]
+		h.mu.Unlock()
+		return v
+	}
+	h.mu.Unlock()
+	return 0
+}
+
+// fatalPath: a path that kills the process need not release.
+func (h *harness) fatalPath(k string) int {
+	h.mu.Lock()
+	v, ok := h.cache[k]
+	if !ok {
+		os.Exit(2)
+	}
+	h.mu.Unlock()
+	return v
+}
+
+// otherGoroutine: locking inside a go statement or literal is that
+// goroutine's business, analyzed in the literal's own CFG.
+func (h *harness) otherGoroutine(k string, v int) {
+	go func() {
+		h.mu.Lock()
+		h.cache[k] = v
+		h.mu.Unlock()
+	}()
+}
+
+// embedded mutexes promote their methods; the guard is still tracked.
+type counter struct {
+	sync.Mutex
+	n int
+}
+
+func (c *counter) bump() {
+	c.Lock()
+	c.n++
+	c.Unlock()
+}
+
+func (c *counter) leak() {
+	c.Lock() // want `c\.Lock\(\) may still be held at return; missing Unlock\(\) on some path`
+	c.n++
+}
+
+// lockHelper intentionally returns holding the mutex; the suppression
+// names the analyzer and the reason.
+func (h *harness) lockHelper() {
+	//lint:ignore lockcheck pairs with unlockHelper by contract
+	h.mu.Lock()
+}
+
+func (h *harness) unlockHelper() {
+	//lint:ignore lockcheck pairs with lockHelper by contract
+	h.mu.Unlock()
+}

@@ -1,0 +1,409 @@
+// Package nilcheck verifies the nil-receiver Tracer contract from the
+// observability layer (internal/trace, PR 3): a `*trace.Tracer` obtained
+// from a constructor call, an accessor like `Host.Tracer()`, or a struct
+// field may be nil — nil is the *disabled* tracer — so outside the
+// annotated hot path every dereference of such a value must be dominated
+// by a nil test.
+//
+// The hot path is exempt by contract: functions carrying the
+// `//burstmem:hotpath` directive emit through the Tracer's exported
+// wrappers, whose inlined `if t == nil { return }` guard is the whole
+// point of the nil-receiver design. Everywhere else (export-time helpers,
+// oracles, command front-ends) the analyzer demands an explicit guard,
+// because there is no inlining contract protecting arbitrary field reads
+// or future non-nil-safe methods.
+//
+// What counts:
+//
+//   - dereference: selecting through the pointer — a field access or a
+//     method call `x.M(...)` on a tracer-typed x — or an explicit `*x`;
+//   - possibly nil: the value came from a call returning *trace.Tracer or
+//     from a struct field; ordinary parameters are trusted (the caller
+//     guards);
+//   - dominated: on every CFG path from the source to the dereference a
+//     test `x != nil` (or an early return under `x == nil`) intervenes.
+//     Short-circuit conditions refine per conjunct, so
+//     `if tr != nil && tr.Len() > 0` is a guarded dereference.
+//
+// Calling `x.Enabled()` is not a dereference — it is the documented
+// nil-safe way to test a tracer — and its result refines like `x != nil`.
+//
+// The analysis is path-sensitive over access paths ("tr", "c.tracer"):
+// a guard on c.tracer covers later uses of c.tracer until either the
+// path or one of its prefixes is reassigned. Calls are assumed not to
+// detach a guarded tracer mid-function (SetTracer between guard and use
+// would be a bug this analyzer misses — and a strange one to write).
+package nilcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/astx"
+	"burstmem/internal/analysis/cfg"
+	"burstmem/internal/analysis/dataflow"
+)
+
+// Analyzer is the nilcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilcheck",
+	Doc:  "dereferences of possibly-nil *trace.Tracer values must be dominated by a nil test outside //burstmem:hotpath functions",
+	Run:  run,
+}
+
+// nilness is the per-path lattice value.
+type nilness uint8
+
+const (
+	nnUnknown nilness = iota // untracked / bottom
+	nnNil
+	nnNonNil
+	nnMaybe
+)
+
+func (n nilness) String() string {
+	switch n {
+	case nnNil:
+		return "nil"
+	case nnNonNil:
+		return "non-nil"
+	case nnMaybe:
+		return "possibly-nil"
+	}
+	return "unknown"
+}
+
+func joinNilness(a, b nilness) nilness {
+	switch {
+	case a == b:
+		return a
+	case a == nnUnknown || b == nnUnknown:
+		return nnUnknown // one side untracked: stay quiet
+	}
+	return nnMaybe
+}
+
+// fact maps tracer access paths to nil-ness. Paths not present are
+// untracked (trusted).
+type fact map[string]nilness
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, fi := range astx.Funcs(file) {
+			if astx.IsHotpath(fi.Decl) {
+				continue // hot-path contract: nil-safe wrappers
+			}
+			if fi.Body() == nil {
+				continue
+			}
+			checkFunc(pass, fi.Node)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node) {
+	g := cfg.New(fn)
+	p := &problem{pass: pass}
+	res := dataflow.Solve[fact](g, p)
+
+	// Reporting pass: replay each block's transfer node by node so every
+	// dereference sees the fact state at its own program point.
+	for _, b := range g.Blocks {
+		f := clone(res.In[b])
+		for _, n := range b.Nodes {
+			p.checkNode(n, f)
+			p.step(n, f)
+		}
+	}
+}
+
+type problem struct {
+	pass *analysis.Pass
+}
+
+func (p *problem) Direction() dataflow.Direction { return dataflow.Forward }
+func (p *problem) Boundary() fact                { return fact{} }
+func (p *problem) Bottom() fact                  { return nil }
+
+func (p *problem) Join(a, b fact) fact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := fact{}
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			if j := joinNilness(v, w); j != nnUnknown {
+				out[k] = j
+			}
+		}
+		// Paths tracked on one side only stay untracked after a join:
+		// some predecessor knows nothing about them.
+	}
+	return out
+}
+
+func (p *problem) Equal(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *problem) Transfer(b *cfg.Block, in fact) fact {
+	out := clone(in)
+	for _, n := range b.Nodes {
+		p.step(n, out)
+	}
+	return out
+}
+
+func clone(f fact) fact {
+	out := fact{}
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// step applies one statement's effect on the fact in place.
+func (p *problem) step(n ast.Node, f fact) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				p.assign(n.Lhs[i], n.Rhs[i], f)
+			}
+			return
+		}
+		// Multi-value: every tracer-typed lhs becomes possibly-nil
+		// (a call or comma-ok produced it).
+		for _, l := range n.Lhs {
+			if path := astx.PathString(l); path != "" {
+				invalidate(f, path)
+				if p.isTracerExpr(l) {
+					f[path] = nnMaybe
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !p.isTracerExpr(name) {
+					continue
+				}
+				if i < len(vs.Values) {
+					p.assign(name, vs.Values[i], f)
+				} else {
+					f[name.Name] = nnNil // var tr *trace.Tracer — zero value
+				}
+			}
+		}
+	}
+}
+
+// assign records the nil-ness of one lhs = rhs pair.
+func (p *problem) assign(lhs, rhs ast.Expr, f fact) {
+	path := astx.PathString(lhs)
+	if path == "" {
+		return
+	}
+	invalidate(f, path)
+	if !p.isTracerExpr(lhs) {
+		return
+	}
+	f[path] = p.classify(rhs, f)
+}
+
+// invalidate drops facts about path and every extension of it (assigning
+// c rewrites c.tracer too).
+func invalidate(f fact, path string) {
+	for k := range f {
+		if astx.HasPrefixPath(k, path) {
+			delete(f, k)
+		}
+	}
+}
+
+// classify computes the nil-ness of a tracer-typed rhs.
+func (p *problem) classify(rhs ast.Expr, f fact) nilness {
+	switch e := rhs.(type) {
+	case *ast.ParenExpr:
+		return p.classify(e.X, f)
+	case *ast.Ident:
+		if e.Name == "nil" && p.pass.TypesInfo.Types[e].IsNil() {
+			return nnNil
+		}
+		if v, ok := f[e.Name]; ok {
+			return v
+		}
+		return nnUnknown
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nnNonNil
+		}
+	case *ast.CallExpr:
+		return nnMaybe // constructor/accessor results may be nil
+	case *ast.SelectorExpr:
+		// Copying another tracked path copies its fact; a raw struct
+		// field read is a possibly-nil source.
+		if path := astx.PathString(e); path != "" {
+			if v, ok := f[path]; ok {
+				return v
+			}
+			if p.isField(e) {
+				return nnMaybe
+			}
+		}
+	}
+	return nnUnknown
+}
+
+// Refine implements dataflow.BranchRefiner: nil comparisons and
+// Enabled() calls sharpen the fact along the taken edge.
+func (p *problem) Refine(cond ast.Expr, branch bool, out fact) fact {
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		if e.Op != token.EQL && e.Op != token.NEQ {
+			return out
+		}
+		var x ast.Expr
+		switch {
+		case p.pass.TypesInfo.Types[e.Y].IsNil():
+			x = e.X
+		case p.pass.TypesInfo.Types[e.X].IsNil():
+			x = e.Y
+		default:
+			return out
+		}
+		path := astx.PathString(x)
+		if path == "" || !p.isTracerExpr(x) {
+			return out
+		}
+		isNil := (e.Op == token.EQL) == branch
+		ref := clone(out)
+		if isNil {
+			ref[path] = nnNil
+		} else {
+			ref[path] = nnNonNil
+		}
+		return ref
+	case *ast.CallExpr:
+		// if x.Enabled() { ... } — the nil-safe test method.
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Enabled" || !p.isTracerExpr(sel.X) {
+			return out
+		}
+		path := astx.PathString(sel.X)
+		if path == "" {
+			return out
+		}
+		ref := clone(out)
+		if branch {
+			ref[path] = nnNonNil
+		} else {
+			ref[path] = nnNil
+		}
+		return ref
+	}
+	return out
+}
+
+// checkNode reports unguarded dereferences inside one CFG node, given the
+// fact state right before it. Function literals are analyzed separately.
+// Short-circuit operators outside control-flow conditions (the CFG only
+// decomposes the latter) get local refinement: in `x != nil && x.M()` the
+// right operand is checked under the left's true-branch fact.
+func (p *problem) checkNode(n ast.Node, f fact) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			if x.Op == token.LAND || x.Op == token.LOR {
+				p.checkNode(x.X, f)
+				p.checkNode(x.Y, p.Refine(x.X, x.Op == token.LAND, f))
+				return false
+			}
+		case *ast.StarExpr:
+			p.checkDeref(x.X, f)
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Enabled" {
+				return true // the nil-safe test, not a dereference
+			}
+			p.checkDeref(x.X, f)
+		}
+		return true
+	})
+}
+
+// checkDeref reports if base — the expression being dereferenced — is a
+// possibly-nil tracer at this point.
+func (p *problem) checkDeref(base ast.Expr, f fact) {
+	if !p.isTracerExpr(base) {
+		return
+	}
+	if path := astx.PathString(base); path != "" {
+		switch f[path] {
+		case nnNil, nnMaybe:
+			p.pass.Reportf(base.Pos(), "%s dereferences a %s *trace.Tracer; guard with a nil test (or annotate the function %s)",
+				path, f[path], astx.HotpathDirective)
+		}
+		return
+	}
+	// Expression sources: a call result dereferenced in place
+	// (h.Tracer().Mark(...)) can never be guarded — bind it first.
+	if _, ok := skipParens(base).(*ast.CallExpr); ok {
+		p.pass.Reportf(base.Pos(), "dereference of unbound *trace.Tracer call result; assign it and guard with a nil test (or annotate the function %s)",
+			astx.HotpathDirective)
+	}
+}
+
+func skipParens(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// isTracerExpr reports whether the expression's static type is
+// *trace.Tracer (or trace.Tracer).
+func (p *problem) isTracerExpr(e ast.Expr) bool {
+	var t types.Type
+	if tv, ok := p.pass.TypesInfo.Types[e]; ok {
+		t = tv.Type
+	} else if id, ok := e.(*ast.Ident); ok {
+		if obj := p.pass.TypesInfo.Defs[id]; obj != nil {
+			t = obj.Type()
+		} else if obj := p.pass.TypesInfo.Uses[id]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	return astx.IsNamed(t, "internal/trace", "Tracer")
+}
+
+// isField reports whether the selector resolves to a struct field.
+func (p *problem) isField(sel *ast.SelectorExpr) bool {
+	s, ok := p.pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}

@@ -1,0 +1,12 @@
+package nilcheck_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/nilcheck"
+)
+
+func TestNilcheck(t *testing.T) {
+	analysistest.Run(t, nilcheck.Analyzer, "./testdata/src/nc")
+}

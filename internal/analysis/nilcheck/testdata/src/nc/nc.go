@@ -1,0 +1,147 @@
+// Package nc is nilcheck test data: dereferences of possibly-nil
+// *trace.Tracer values with and without dominating nil tests.
+package nc
+
+import "burstmem/internal/trace"
+
+type host struct {
+	tracer *trace.Tracer
+}
+
+func (h *host) Tracer() *trace.Tracer { return h.tracer }
+
+// unguardedCall dereferences a constructor result without a guard.
+func unguardedCall(events int) {
+	tr := trace.New(events, 0)
+	_ = tr.Len() // want `tr dereferences a possibly-nil \*trace\.Tracer`
+}
+
+// guardedCall is the canonical pattern: nil test dominates the use.
+func guardedCall(events int) int {
+	tr := trace.New(events, 0)
+	if tr != nil {
+		return tr.Len()
+	}
+	return 0
+}
+
+// earlyReturn guards by returning on the nil branch.
+func earlyReturn(h *host) {
+	tr := h.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.Mark(0, trace.EvBurstForm, 0, 0, 0, 0, 0, 0)
+}
+
+// enabledGuard uses the documented nil-safe test method; the call itself
+// is not a dereference and refines like `tr != nil`.
+func enabledGuard(h *host) int {
+	tr := h.Tracer()
+	if tr.Enabled() {
+		return tr.Len()
+	}
+	return 0
+}
+
+// shortCircuit guards inside a compound condition.
+func shortCircuit(h *host) bool {
+	tr := h.Tracer()
+	return tr != nil && tr.Len() > 0
+}
+
+// fieldRead dereferences a struct field without a guard.
+func fieldRead(h *host) {
+	tr := h.tracer
+	_ = tr.Dropped() // want `tr dereferences a possibly-nil \*trace\.Tracer`
+}
+
+// unbound dereferences a call result in place: can never be guarded.
+func unbound(h *host) {
+	h.Tracer().Forward(0, 0, 0) // want `dereference of unbound \*trace\.Tracer call result`
+}
+
+// hotEmit is exempt: hot-path functions rely on the nil-safe wrappers.
+//
+//burstmem:hotpath
+func hotEmit(h *host, cycle uint64) {
+	h.Tracer().Mark(cycle, trace.EvBurstForm, 0, 0, 0, 0, 0, 0)
+}
+
+// param is quiet: parameters are trusted — the caller guards.
+func param(tr *trace.Tracer) int {
+	return tr.Len()
+}
+
+// wrongBranch tests nil but dereferences on the nil edge.
+func wrongBranch(h *host) {
+	tr := h.Tracer()
+	if tr == nil {
+		_ = tr.Len() // want `tr dereferences a nil \*trace\.Tracer`
+	}
+}
+
+// joinLoses: only one branch establishes non-nil, so after the join the
+// tracer is possibly nil again.
+func joinLoses(h *host, c bool) {
+	tr := h.Tracer()
+	if c {
+		if tr == nil {
+			tr = trace.New(4, 0)
+		}
+	}
+	_ = tr.Len() // want `tr dereferences a possibly-nil \*trace\.Tracer`
+}
+
+// reassignClears: a guard stops covering the path once it is reassigned.
+func reassignClears(h *host) {
+	tr := h.Tracer()
+	if tr == nil {
+		return
+	}
+	_ = tr.Len() // guarded
+	tr = h.Tracer()
+	_ = tr.Len() // want `tr dereferences a possibly-nil \*trace\.Tracer`
+}
+
+// zeroValue: an uninitialised tracer variable is nil.
+func zeroValue() {
+	var tr *trace.Tracer
+	_ = tr.Events() // want `tr dereferences a nil \*trace\.Tracer`
+}
+
+// nonNilLiteral: taking the address of a value is always non-nil.
+func nonNilLiteral() int {
+	var v trace.Tracer
+	tr := &v
+	return tr.Len()
+}
+
+// fieldPath: guards work on multi-segment access paths too.
+func fieldPath(h *host) {
+	if h.tracer != nil {
+		_ = h.tracer.Len()
+	}
+	_ = h.tracer.Dropped() // want `h\.tracer dereferences a possibly-nil \*trace\.Tracer`
+}
+
+// loopGuardPersists: a guard before a loop covers uses inside it as long
+// as nothing in the loop reassigns the path.
+func loopGuardPersists(h *host, n int) int {
+	tr := h.Tracer()
+	if tr == nil {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += tr.Len()
+	}
+	return total
+}
+
+// suppressed documents an intentional unguarded use.
+func suppressed(h *host) {
+	tr := h.Tracer()
+	//lint:ignore nilcheck exercised only in tests with a live tracer
+	_ = tr.Len()
+}

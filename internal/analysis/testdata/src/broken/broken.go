@@ -1,0 +1,11 @@
+// Package broken is loader test data: it parses but does not type-check.
+// Load must surface the failures as diagnostics, not abort or panic.
+package broken
+
+func addressOf(x int) *int {
+	return &undefinedIdent
+}
+
+func mismatch() string {
+	return 42
+}

@@ -1,0 +1,37 @@
+// Package generics is loader test data: type-parameterized functions and
+// types whose instantiations must land in types.Info.Instances.
+package generics
+
+// Ring is a generic fixed-capacity buffer.
+type Ring[T any] struct {
+	buf  []T
+	head int
+}
+
+// Push appends, overwriting the oldest element when full.
+func (r *Ring[T]) Push(v T) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Map applies f to every element.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// use instantiates both so the package itself exercises Instances.
+func use() []string {
+	r := Ring[uint64]{buf: make([]uint64, 0, 4)}
+	r.Push(42)
+	return Map([]int{1, 2}, func(v int) string { return string(rune('a' + v)) })
+}
+
+var _ = use

@@ -12,6 +12,11 @@
 # loop, excluding system construction — a few hundred pool warm-up
 # allocations per run when the allocation-free hot path holds, so growth
 # here means a per-cycle allocation crept in).
+#
+# Full runs also record burstlint's wall time over ./... as a "burstlint"
+# entry: the seven analyzers build per-function CFGs and run worklist
+# solvers, and this keeps their cost on the same trajectory chart as the
+# simulator itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +32,17 @@ echo "$RAW"
 
 [[ -z "$OUT" ]] && exit 0
 
-echo "$RAW" | awk '
+# Wall time of the full static-analysis suite (build of burstlint itself
+# excluded: compile first, then time the lint run).
+go build -o /tmp/burstlint.$$ ./cmd/burstlint
+LINT_NS_START=$(date +%s%N)
+/tmp/burstlint.$$ ./... >/dev/null
+LINT_NS_END=$(date +%s%N)
+rm -f /tmp/burstlint.$$
+LINT_MS=$(( (LINT_NS_END - LINT_NS_START) / 1000000 ))
+echo "burstlint ./...: ${LINT_MS} ms"
+
+echo "$RAW" | awk -v lint_ms="$LINT_MS" '
 BEGIN { print "["; first = 1 }
 /^BenchmarkSimThroughput\// {
     name = $1
@@ -45,7 +60,11 @@ BEGIN { print "["; first = 1 }
     first = 0
     printf "  {\"case\": \"%s\", \"simcycles_per_sec\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"steady_state_allocs_per_op\": %s}", name, cyc, nsop, bop, aop, hot
 }
-END { print "\n]" }
+END {
+    if (!first) print ","
+    printf "  {\"case\": \"burstlint\", \"wall_ms\": %s}\n", lint_ms
+    print "]"
+}
 ' > "$OUT"
 
 echo "wrote $OUT"

@@ -13,7 +13,10 @@ go build ./...
 echo "== burstlint =="
 go run ./cmd/burstlint ./...
 
-echo "== go test -race =="
+echo "== burstlint golden (CLI output/exit-code contract) =="
+go test -count=1 -run 'TestGolden|TestExitCode' ./cmd/burstlint/
+
+echo "== go test -race (full tree; covers the sim/profiling/experiments concurrency set) =="
 go test -race ./...
 
 echo "== go test -tags invariants (protocol sanitizer armed) =="
