@@ -101,3 +101,32 @@ func ignored(c dram.Cmd) bool {
 	}
 	return false
 }
+
+// classMask mirrors the scheduler's class-mask build: each command routes
+// a bank bit into one of the per-rank summary words. Omitting CmdRefresh
+// with no loud default is flagged — a classifier feeding the priority
+// bitmaps must acknowledge every command, or a future variant would be
+// silently dropped from scheduling.
+func classMask(c dram.Cmd, rankWord uint64, bank int) uint64 {
+	switch c { // want `switch over dram.Cmd is not exhaustive: missing CmdRefresh`
+	case dram.CmdRead, dram.CmdWrite:
+		return rankWord | 1<<uint(bank)
+	case dram.CmdActivate, dram.CmdPrecharge:
+		return rankWord
+	}
+	return rankWord
+}
+
+// classMaskGuarded is the accepted form of the same classifier: refresh is
+// channel-internal and can't-happen here, and the panic default keeps that
+// assumption loud.
+func classMaskGuarded(c dram.Cmd, rankWord uint64, bank int) uint64 {
+	switch c {
+	case dram.CmdRead, dram.CmdWrite:
+		return rankWord | 1<<uint(bank)
+	case dram.CmdActivate, dram.CmdPrecharge:
+		return rankWord
+	default:
+		panic("exh: refresh is not a candidate transaction")
+	}
+}

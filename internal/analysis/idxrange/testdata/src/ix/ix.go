@@ -103,3 +103,31 @@ func suppressed(banks []bankState, loc addrmap.Loc) bankState {
 	//lint:ignore idxrange fault-injection experiment aliases rank onto bank
 	return banks[loc.Rank]
 }
+
+// summaryWrongDim: per-rank summary bitmaps (one word of bank bits per
+// rank, the occupied-bank idiom) are rank-indexed containers even though
+// their elements are words, not structs.
+func summaryWrongDim(occByRank []uint64, loc addrmap.Loc) uint64 {
+	return occByRank[loc.Bank] // want `bank value indexes occByRank \(rank dimension\)`
+}
+
+// summaryMatching: the same bitmap read with the right coordinate.
+func summaryMatching(occByRank []uint64, loc addrmap.Loc) uint64 {
+	return occByRank[loc.Rank] & 0x3
+}
+
+// flattenedHints: rank*banks+bank flattening is arithmetic, so the index
+// is dimensionless and flat per-bank hint tables stay quiet — the
+// flattening itself is the dimension conversion.
+func flattenedHints(hintByBank []uint32, loc addrmap.Loc, banks int) uint32 {
+	return hintByBank[int(loc.Rank)*banks+int(loc.Bank)]
+}
+
+// summaryBitWrongDim: selecting a bank bit out of the rank word with a
+// row coordinate is still caught at the (non-jagged) shift... but shifts
+// are operators, so the bit position is dimensionless; only the container
+// index is checked. The mistake that IS caught is indexing the per-bank
+// expansion with the row.
+func summaryBitWrongDim(perBank []bool, loc addrmap.Loc) bool {
+	return perBank[loc.Row] // want `row value indexes perBank \(bank dimension\)`
+}

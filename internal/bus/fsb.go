@@ -17,6 +17,7 @@ import (
 
 	"burstmem/internal/deque"
 	"burstmem/internal/memctrl"
+	"burstmem/internal/u64map"
 )
 
 // Config describes the FSB.
@@ -83,7 +84,7 @@ type FSB struct {
 	// inflight maps a submitted read's access ID to its upstream response
 	// callback; completeFn is the single controller completion callback
 	// shared by every submission, so the submit path allocates nothing.
-	inflight   map[uint64]func()
+	inflight   *u64map.Map[func()]
 	completeFn func(*memctrl.Access, uint64)
 
 	memNow      uint64
@@ -98,7 +99,7 @@ func New(cfg Config, ctrl *memctrl.Controller) (*FSB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f := &FSB{cfg: cfg, ctrl: ctrl, inflight: make(map[uint64]func())}
+	f := &FSB{cfg: cfg, ctrl: ctrl, inflight: u64map.New[func()](cfg.QueueDepth)}
 	f.completeFn = f.complete
 	return f, nil
 }
@@ -107,11 +108,11 @@ func New(cfg Config, ctrl *memctrl.Controller) (*FSB, error) {
 // this FSB. Completion times from the controller are nondecreasing within
 // a run, so the response queue stays sorted.
 func (f *FSB) complete(a *memctrl.Access, at uint64) {
-	done, ok := f.inflight[a.ID]
+	done, ok := f.inflight.Get(a.ID)
 	if !ok {
 		return
 	}
-	delete(f.inflight, a.ID)
+	f.inflight.Delete(a.ID)
 	f.respQ.PushBack(response{at: at + uint64(f.cfg.RespLatency), done: done})
 }
 
@@ -185,7 +186,7 @@ func (f *FSB) Tick(memNow uint64) {
 			return
 		}
 		if r.done != nil {
-			f.inflight[a.ID] = r.done
+			f.inflight.Put(a.ID, r.done)
 		}
 		f.reqQ.PopFront()
 	}

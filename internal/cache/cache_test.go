@@ -349,7 +349,7 @@ func TestSetIndexProperty(t *testing.T) {
 	f := func(addr uint64) bool {
 		s1, t1 := c.index(addr)
 		s2, t2 := c.index(addr ^ 0x3F) // same line, different offset
-		return s1 == s2 && t1 == t2 && s1 < uint64(len(c.sets))
+		return s1 == s2 && t1 == t2 && s1 < uint64(c.numSets)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

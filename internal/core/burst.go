@@ -190,6 +190,14 @@ type burstSched struct {
 	lastBank int // flattened bank index of the last scheduled transaction
 	lastRank int
 
+	// preemptCount tracks how many banks currently have preemptPending
+	// set. A pending flag always belongs to an occupied bank (it is set
+	// only while a write is ongoing and consumed by the next tick's
+	// arbitration pass, before any transaction can vacate the bank), so
+	// this count equals what a scan of occupied banks would find — which
+	// is exactly the scan NextEventCycle used to do.
+	preemptCount int
+
 	// dynamic-threshold state (see dynamic.go)
 	dynamic        bool
 	nextAdapt      uint64
@@ -277,9 +285,10 @@ func (s *burstSched) Enqueue(a *memctrl.Access, now uint64) {
 	}
 	s.pendingReads++
 	s.intervalReads++
-	if s.opt.ReadPreemption && st.ongoingIsWrite && s.engine.Ongoing(r, b) != nil &&
-		s.host.GlobalWrites() < s.opt.Threshold {
+	if s.opt.ReadPreemption && !st.preemptPending && st.ongoingIsWrite &&
+		s.engine.Ongoing(r, b) != nil && s.host.GlobalWrites() < s.opt.Threshold {
 		st.preemptPending = true
+		s.preemptCount++
 	}
 	for _, bg := range st.bursts {
 		if bg.row == a.Loc.Row {
@@ -346,16 +355,10 @@ var _ memctrl.EventHinter = (*burstSched)(nil)
 //
 //burstmem:hotpath
 func (s *burstSched) NextEventCycle(now uint64) uint64 {
-	next := s.engine.NextEventCycle(now)
-	if s.opt.ReadPreemption {
-		for r := range s.burstsNE {
-			for m := s.engine.OccupiedMask(r); m != 0; m &= m - 1 {
-				if s.bank(r, bits.TrailingZeros64(m)).preemptPending {
-					return now + 1
-				}
-			}
-		}
+	if s.preemptCount > 0 {
+		return now + 1
 	}
+	next := s.engine.NextEventCycle(now)
 	if s.dynamic && s.nextAdapt < next {
 		next = s.nextAdapt
 	}
@@ -370,6 +373,13 @@ func (s *burstSched) arbitrateVacant(rank, bank int, now uint64) {
 	st := s.bank(rank, bank)
 	occupancy := s.host.GlobalWrites()
 	wq := s.writes.List(rank, bank)
+
+	// Evaluated once for both the piggyback guard and its body
+	// (rowHitWrite is a pure scan).
+	var piggyW *memctrl.Access
+	if s.opt.WritePiggyback && occupancy > s.opt.Threshold && st.endOfBurst {
+		piggyW = s.rowHitWrite(st, wq)
+	}
 
 	switch {
 	case s.host.WriteQueueFull() && !wq.Empty():
@@ -389,10 +399,10 @@ func (s *burstSched) arbitrateVacant(rank, bank int, now uint64) {
 		} else if len(st.bursts) > 0 {
 			s.installRead(rank, bank, now)
 		}
-	case s.opt.WritePiggyback && occupancy > s.opt.Threshold && st.endOfBurst && s.rowHitWrite(st, wq) != nil:
+	case piggyW != nil:
 		// Fig. 5 line 4: piggyback the oldest qualified write at
 		// the end of the burst.
-		w := s.rowHitWrite(st, wq)
+		w := piggyW
 		s.installWrite(rank, bank, w, true)
 		s.Stats.PiggybackedWrites++
 		s.host.Tracer().Mark(now, trace.EvPiggyback, s.host.ChannelIndex(),
@@ -425,6 +435,7 @@ func (s *burstSched) arbitrateOngoing(rank, bank int, now uint64) {
 	st := s.bank(rank, bank)
 	if st.preemptPending {
 		st.preemptPending = false
+		s.preemptCount--
 		if st.ongoingIsWrite && len(st.bursts) > 0 && s.host.GlobalWrites() < s.opt.Threshold {
 			s.preempt(rank, bank, s.engine.Ongoing(rank, bank), now)
 		}
@@ -603,51 +614,131 @@ func (s *burstSched) rowHitWrite(st *bankState, wq *memctrl.AccessList) *memctrl
 }
 
 // schedule is the transaction scheduler subroutine (paper Fig. 6) driven by
-// the static priority of paper Table 2. Among all banks' unblocked next
-// transactions it issues the one with the lowest priority value; oldest
-// arrival breaks ties. When nothing is unblocked, last bank/rank move to
-// the bank holding the oldest access so its burst starts next (Fig. 6
-// lines 14-15).
+// the static priority of paper Table 2. The engine classifies every
+// unblocked bank into the four (column/row)×(read/write) masks; walking
+// them from priority 1 to 8 finds the winner without computing a priority
+// value per candidate — the first nonempty class holds it, and only the
+// oldest-arrival tie-break within that class needs per-bank work. When
+// nothing is unblocked, last bank/rank move to the bank holding the oldest
+// access so its burst starts next (Fig. 6 lines 14-15).
 //
 //burstmem:hotpath
 func (s *burstSched) schedule(now uint64) {
-	cands := s.engine.Candidates()
-	best := -1
-	bestPri := 99
-	var bestArrival uint64
-	oldest := -1
-	var oldestArrival uint64
-	for i, c := range cands {
-		if oldest < 0 || c.Access.Arrival < oldestArrival {
-			oldest = i
-			oldestArrival = c.Access.Arrival
-		}
-		if !c.Unblocked {
-			continue
-		}
-		pri := 0
-		if !s.opt.NaivePriority {
-			pri = s.priority(c)
-		}
-		if best < 0 || pri < bestPri || (pri == bestPri && c.Access.Arrival < bestArrival) {
-			best = i
-			bestPri = pri
-			bestArrival = c.Access.Arrival
-		}
-	}
-	if best < 0 {
-		if oldest >= 0 {
-			s.lastRank = cands[oldest].Rank
-			s.lastBank = s.flatBank(cands[oldest].Rank, cands[oldest].Bank)
+	cl, any := s.engine.Unblocked(now)
+	if !any {
+		if r, b, ok := s.engine.OldestOngoing(); ok {
+			s.lastRank = r
+			s.lastBank = s.flatBank(r, b)
 		}
 		return
 	}
-	c := cands[best]
+	var rank, bank, pri int
+	if s.opt.NaivePriority {
+		rank, bank = s.oldestUnblocked(cl)
+	} else {
+		rank, bank, pri = s.pickTable2(cl)
+	}
+	c := s.engine.CandidateAt(rank, bank)
 	s.engine.Issue(c, now)
 	s.host.Tracer().SchedPick(now, s.host.ChannelIndex(), c.Rank, c.Bank,
-		c.Access.ID, bestPri, cmdEventKind(c.Cmd))
+		c.Access.ID, pri, cmdEventKind(c.Cmd))
 	s.lastRank = c.Rank
 	s.lastBank = s.flatBank(c.Rank, c.Bank)
+}
+
+// pickTable2 walks the Table 2 classes from priority 1 (column read, same
+// bank) to 8 (column write, other rank) and picks the first nonempty one's
+// oldest bank. Same-priority arrival ties resolve to the lowest rank/bank,
+// matching the rank-major candidate scan this replaces.
+//
+//burstmem:hotpath
+func (s *burstSched) pickTable2(cl *memctrl.BankClasses) (rank, bank, pri int) {
+	if lr := s.lastRank; lr >= 0 {
+		lastBit := uint64(1) << uint(s.lastBank-lr*s.host.Channel().Banks())
+		if cl.ColRead[lr]&lastBit != 0 {
+			return lr, bits.TrailingZeros64(lastBit), 1
+		}
+		if m := cl.ColRead[lr] &^ lastBit; m != 0 {
+			return lr, s.oldestInMask(lr, m), 2
+		}
+		if cl.ColWrite[lr]&lastBit != 0 {
+			return lr, bits.TrailingZeros64(lastBit), 3
+		}
+		if m := cl.ColWrite[lr] &^ lastBit; m != 0 {
+			return lr, s.oldestInMask(lr, m), 4
+		}
+	}
+	// Row transactions rank 5/6 wherever they are — precharge and
+	// activate overlap freely, no data bus needed.
+	if r, b, ok := s.oldestInClass(cl.RowRead, -1); ok {
+		return r, b, 5
+	}
+	if r, b, ok := s.oldestInClass(cl.RowWrite, -1); ok {
+		return r, b, 6
+	}
+	// Columns on other ranks pay the rank-to-rank turnaround: last.
+	if r, b, ok := s.oldestInClass(cl.ColRead, s.lastRank); ok {
+		return r, b, 7
+	}
+	if r, b, ok := s.oldestInClass(cl.ColWrite, s.lastRank); ok {
+		return r, b, 8
+	}
+	panic("core: class walk found no unblocked bank despite Unblocked reporting one")
+}
+
+// oldestUnblocked picks the oldest unblocked bank regardless of class (the
+// NaivePriority ablation).
+//
+//burstmem:hotpath
+func (s *burstSched) oldestUnblocked(cl *memctrl.BankClasses) (int, int) {
+	bestR, bestB := -1, -1
+	var bestArrival uint64
+	for r := range cl.ColRead {
+		for m := cl.Rank(r); m != 0; m &= m - 1 {
+			b := bits.TrailingZeros64(m)
+			if a := s.engine.Ongoing(r, b); bestR < 0 || a.Arrival < bestArrival {
+				bestR, bestB, bestArrival = r, b, a.Arrival
+			}
+		}
+	}
+	return bestR, bestB
+}
+
+// oldestInMask returns the rank's bank with the oldest ongoing access among
+// the mask's banks (the mask must be nonempty).
+//
+//burstmem:hotpath
+func (s *burstSched) oldestInMask(rank int, mask uint64) int {
+	best := -1
+	var bestArrival uint64
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		if a := s.engine.Ongoing(rank, b); best < 0 || a.Arrival < bestArrival {
+			best, bestArrival = b, a.Arrival
+		}
+	}
+	return best
+}
+
+// oldestInClass returns the class's oldest bank across ranks (skipRank
+// excluded; pass -1 to scan every rank).
+//
+//burstmem:hotpath
+func (s *burstSched) oldestInClass(masks []uint64, skipRank int) (int, int, bool) {
+	bestR, bestB := -1, -1
+	var bestArrival uint64
+	for r, mask := range masks {
+		if r == skipRank {
+			continue
+		}
+		for m := mask; m != 0; m &= m - 1 {
+			b := bits.TrailingZeros64(m)
+			if a := s.engine.Ongoing(r, b); bestR < 0 || a.Arrival < bestArrival {
+				bestR, bestB, bestArrival = r, b, a.Arrival
+			}
+		}
+	}
+	return bestR, bestB, bestR >= 0
 }
 
 // cmdEventKind maps a DRAM command to its trace event kind.
@@ -673,36 +764,3 @@ func (s *burstSched) flatBank(rank, bank int) int {
 	return rank*s.host.Channel().Banks() + bank
 }
 
-// priority implements paper Table 2 (1 = highest, 8 = lowest).
-//
-//burstmem:hotpath
-func (s *burstSched) priority(c memctrl.Candidate) int {
-	read := c.Access.Kind == memctrl.KindRead
-	switch c.Cmd {
-	case dram.CmdRead, dram.CmdWrite:
-		sameBank := s.flatBank(c.Rank, c.Bank) == s.lastBank
-		sameRank := c.Rank == s.lastRank
-		switch {
-		case read && sameBank:
-			return 1
-		case read && sameRank:
-			return 2
-		case !read && sameBank:
-			return 3
-		case !read && sameRank:
-			return 4
-		case read:
-			return 7
-		default:
-			return 8
-		}
-	case dram.CmdPrecharge, dram.CmdActivate, dram.CmdRefresh:
-		// Precharge and activate overlap freely (no data bus needed);
-		// refresh is channel-internal and never appears as a candidate.
-		if read {
-			return 5
-		}
-		return 6
-	}
-	panic("core: unreachable command in priority")
-}

@@ -134,6 +134,29 @@ type CPU struct {
 	sbFillCB  []func()
 	issuedSeq []uint64 // rob generation at last issue, per slot
 
+	// replayIdle records that the last replay walk proved every pending
+	// load is parked — waiting on a full LSQ or an unresolved dependence —
+	// states only completeLoad can change. While set, replay (and the
+	// matching SkipEligible walk) skips the list outright. Cleared by
+	// completeLoad and by dispatch when it parks a new load.
+	replayIdle bool
+	// depWaiting counts pending loads parked on an unresolved dependence
+	// (recomputed each replay walk). While replayIdle holds, completions
+	// that free no LSQ slot can only matter if one of these exists.
+	depWaiting int
+
+	// stalled records that the last Tick ended SkipEligible: until an
+	// external cache callback arrives, every subsequent Tick is a pure
+	// stall whose only effects are the counters SkipCycles accounts, so
+	// Tick short-circuits. Cleared by loadReturned and store-fill
+	// callbacks (the only external unblock events).
+	stalled bool
+
+	// prober is mem's WouldAllocate view, resolved once at construction so
+	// the load-issue path avoids a per-call interface assertion (nil when
+	// the port does not support the query).
+	prober allocProber
+
 	now          uint64                    // internal cycle clock (never reset)
 	totalRetired uint64                    // lifetime retirement count (never reset)
 	delayQ       deque.Deque[deferredDone] // L1-hit completions (constant latency FIFO)
@@ -162,13 +185,17 @@ func New(cfg Config, gen workload.Generator, mem Mem) (*CPU, error) {
 		sbFillCB:  make([]func(), cfg.StoreBufSize),
 		issuedSeq: make([]uint64, cfg.ROBSize),
 	}
+	c.prober, _ = mem.(allocProber)
 	for i := range c.loadCB {
 		i := i
 		c.loadCB[i] = func() { c.loadReturned(i) }
 	}
 	for i := range c.sbFillCB {
 		i := i
-		c.sbFillCB[i] = func() { c.sb[i].filled = true }
+		c.sbFillCB[i] = func() {
+			c.sb[i].filled = true
+			c.stalled = false
+		}
 	}
 	return c, nil
 }
@@ -182,7 +209,19 @@ func (c *CPU) Cycles() uint64 { return c.Stats.Cycles }
 
 // Tick advances one CPU cycle: drain the store buffer, fire L1-hit
 // completions, retire, replay blocked loads, dispatch.
+//
+// While stalled (see the field comment), a full Tick provably performs
+// exactly the SkipCycles(1) accounting — fireDelayed has nothing queued,
+// drainStores has everything issued and no fill at the head, retire blocks
+// on the head, replay only compacts already-dead entries, dispatch hits the
+// full ROB — so it short-circuits to that.
+//
+//burstmem:hotpath
 func (c *CPU) Tick() {
+	if c.stalled {
+		c.SkipCycles(1)
+		return
+	}
 	c.now++
 	c.Stats.Cycles++
 	c.fireDelayed()
@@ -190,6 +229,7 @@ func (c *CPU) Tick() {
 	c.retire()
 	c.replay()
 	c.dispatch()
+	c.stalled = c.SkipEligible()
 }
 
 func (c *CPU) fireDelayed() {
@@ -210,6 +250,12 @@ func (c *CPU) completeLoad(e *robEntry) {
 	e.done = true
 	if e.counted {
 		c.lsqInFlight--
+		// An LSQ slot freed: parked loads can issue again.
+		c.replayIdle = false
+	} else if c.depWaiting > 0 {
+		// No slot freed, but this load may be the address dependence some
+		// parked load waits on.
+		c.replayIdle = false
 	}
 }
 
@@ -284,7 +330,12 @@ func (c *CPU) retire() {
 // LSQ full, or cache blocked). Loads known to be waiting on a full LSQ are
 // skipped cheaply while it remains full.
 func (c *CPU) replay() {
+	if c.replayIdle {
+		return
+	}
 	lsqFull := c.lsqInFlight >= c.cfg.LSQSize
+	idle := true
+	depParked := 0
 	remaining := c.pendingIssue[:0]
 	for _, idx := range c.pendingIssue {
 		e := &c.rob[idx]
@@ -300,9 +351,21 @@ func (c *CPU) replay() {
 			if c.lsqInFlight >= c.cfg.LSQSize {
 				lsqFull = true
 			}
+			if e.depSeq != 0 {
+				depParked++
+			} else if !e.lsqWait {
+				// Cache-blocked: must retry every cycle (the retry is
+				// what the cache's Blocked statistic counts).
+				idle = false
+			}
 		}
 	}
 	c.pendingIssue = remaining
+	c.depWaiting = depParked
+	// Entries parked on the LSQ were all (re)checked under lsqFull=true —
+	// issues only grow lsqInFlight mid-walk — so with no cache-blocked
+	// stragglers the list cannot make progress until a completeLoad.
+	c.replayIdle = idle
 }
 
 // tryIssueLoad attempts a load's cache access. Returns false if it must be
@@ -347,13 +410,17 @@ func (c *CPU) tryIssueLoad(idx int, e *robEntry) bool {
 	}
 }
 
+// allocProber is the optional memory-port query wouldAllocate uses.
+type allocProber interface{ WouldAllocate(addr uint64) bool }
+
 // wouldAllocate asks the memory port whether a load would start a new line
 // fetch, when the port supports the query (the L1 cache does; simple test
 // stubs need not).
+//
+//burstmem:hotpath
 func (c *CPU) wouldAllocate(addr uint64) bool {
-	type allocProber interface{ WouldAllocate(addr uint64) bool }
-	if p, ok := c.mem.(allocProber); ok {
-		return p.WouldAllocate(addr)
+	if c.prober != nil {
+		return c.prober.WouldAllocate(addr)
 	}
 	return true
 }
@@ -364,6 +431,7 @@ func (c *CPU) wouldAllocate(addr uint64) bool {
 // completed, so stale firings are impossible in practice but guarded
 // anyway.
 func (c *CPU) loadReturned(idx int) {
+	c.stalled = false
 	e := &c.rob[idx]
 	if e.seq == c.issuedSeq[idx] {
 		c.completeLoad(e)
@@ -401,6 +469,7 @@ func (c *CPU) dispatch() {
 			c.lastLoadSeq = c.seq
 			if !c.tryIssueLoad(idx, e) {
 				c.pendingIssue = append(c.pendingIssue, idx)
+				c.replayIdle = false
 			}
 		}
 	}
@@ -430,21 +499,23 @@ func (c *CPU) SkipEligible() bool {
 	if head.done && !(head.typ == workload.OpStore && c.sbLen >= c.cfg.StoreBufSize) {
 		return false
 	}
-	lsqFull := c.lsqInFlight >= c.cfg.LSQSize
-	for _, idx := range c.pendingIssue {
-		e := &c.rob[idx]
-		if e.done || e.issued {
-			continue
-		}
-		if e.lsqWait && lsqFull {
-			continue
-		}
-		if e.depSeq != 0 {
-			if dep := &c.rob[e.depIdx]; dep.seq == e.depSeq && !dep.done {
+	if !c.replayIdle {
+		lsqFull := c.lsqInFlight >= c.cfg.LSQSize
+		for _, idx := range c.pendingIssue {
+			e := &c.rob[idx]
+			if e.done || e.issued {
 				continue
 			}
+			if e.lsqWait && lsqFull {
+				continue
+			}
+			if e.depSeq != 0 {
+				if dep := &c.rob[e.depIdx]; dep.seq == e.depSeq && !dep.done {
+					continue
+				}
+			}
+			return false
 		}
-		return false
 	}
 	return true
 }

@@ -73,6 +73,9 @@ func (o RowOutcome) String() string {
 type bank struct {
 	open bool
 	row  uint32
+	// ver increments whenever this bank's state or timers change; the
+	// controller engine uses it to invalidate cached per-bank hints.
+	ver uint32
 
 	nextActivate  uint64
 	nextPrecharge uint64
@@ -95,6 +98,12 @@ type rank struct {
 
 	nextRefresh  uint64 // cycle the next refresh becomes due
 	refreshUntil uint64 // busy refreshing until this cycle (exclusive)
+
+	// ver increments whenever rank-wide constraint state changes (activate
+	// pacing, write turnaround, refresh schedule).
+	ver uint32
+	// openBanks counts open banks, for O(1) active-rank sampling.
+	openBanks int
 }
 
 // Stats accumulates channel activity for utilization reporting.
@@ -129,6 +138,22 @@ type Channel struct {
 
 	cmdThisCycle bool
 
+	// Monotone version counters for the controller's cached scheduling
+	// hints: stateVer bumps on every device-state mutation, busVer on every
+	// data-bus occupation, per-bank and per-rank counters live in their
+	// structs. Time passing is not a mutation — the engine's cached
+	// constraint bounds stay valid until one of these moves.
+	stateVer uint64
+	busVer   uint32
+
+	// openRanks counts ranks with at least one open bank (incrementally
+	// maintained), so per-cycle background-power sampling is O(1).
+	openRanks int
+
+	// refreshWake is a lower bound on the next cycle the refresh engine
+	// could act; Tick skips the per-rank refresh scan before it.
+	refreshWake uint64
+
 	// san is the build-tag-gated protocol sanitizer (see sanitize_on.go);
 	// zero-size with no-op methods unless built with -tags invariants.
 	san sanState
@@ -156,6 +181,12 @@ func NewChannel(t Timing, ranks, banksPerRank int) (*Channel, error) {
 		if t.TREFI > 0 {
 			// Stagger rank refreshes to avoid lock-step channel stalls.
 			c.ranks[i].nextRefresh = uint64(t.TREFI) + uint64(i*t.TREFI/ranks)
+		}
+	}
+	c.refreshWake = NoEvent
+	for i := range c.ranks {
+		if t.TREFI > 0 && c.ranks[i].nextRefresh < c.refreshWake {
+			c.refreshWake = c.ranks[i].nextRefresh
 		}
 	}
 	return c, nil
@@ -191,15 +222,8 @@ func (c *Channel) Now() uint64 { return c.now }
 func (c *Channel) Tick(now uint64) bool {
 	c.now = now
 	c.cmdThisCycle = false
-	for r := range c.ranks {
-		for b := range c.ranks[r].banks {
-			if c.ranks[r].banks[b].open {
-				c.Stats.ActiveRankCycles++
-				break
-			}
-		}
-	}
-	if c.T.TREFI == 0 {
+	c.Stats.ActiveRankCycles += uint64(c.openRanks)
+	if c.T.TREFI == 0 || now < c.refreshWake {
 		return false
 	}
 	for r := range c.ranks {
@@ -224,12 +248,29 @@ func (c *Channel) Tick(now uint64) bool {
 			c.san.refresh(c, r, now)
 			rk.refreshUntil = now + uint64(c.T.TRFC)
 			rk.nextRefresh += uint64(c.T.TREFI)
+			rk.ver++
+			c.stateVer++
 			c.Stats.Refreshes++
 			c.Stats.Commands++
 			c.cmdThisCycle = true
 			c.tr.Command(now, trace.EvRefresh, c.chIdx, r, 0, 0, 0, 0)
 		}
 	}
+	// Recompute the wake bound: a due rank keeps the engine active every
+	// cycle until its refresh starts; otherwise nothing happens before the
+	// earliest tREFI deadline.
+	wake := NoEvent
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		if rk.refreshUntil <= now && rk.nextRefresh <= now {
+			wake = now + 1
+			break
+		}
+		if rk.nextRefresh < wake {
+			wake = rk.nextRefresh
+		}
+	}
+	c.refreshWake = wake
 	return c.cmdThisCycle
 }
 
@@ -274,12 +315,21 @@ func (c *Channel) NextEventCycle(now uint64) uint64 {
 //
 //burstmem:hotpath
 func (c *Channel) EarliestIssue(cmd Cmd, t Target) uint64 {
+	at := maxU64(c.now+1, c.EarliestReady(cmd, t))
+	return maxU64(at, c.ColumnBusReady(cmd, t.Rank))
+}
+
+// EarliestReady returns the first cycle at which the command's bank and
+// rank timing constraints hold (including an in-progress refresh), with no
+// current-cycle floor and no data-bus term. The value depends only on state
+// covered by the target's bank version and rank version, never on c.now, so
+// the controller engine can cache it until one of those versions moves.
+//
+//burstmem:hotpath
+func (c *Channel) EarliestReady(cmd Cmd, t Target) uint64 {
 	rk := &c.ranks[t.Rank]
 	bk := &rk.banks[t.Bank]
-	at := c.now + 1
-	if rk.refreshUntil > at {
-		at = rk.refreshUntil
-	}
+	at := rk.refreshUntil
 	switch cmd {
 	case CmdPrecharge:
 		at = maxU64(at, bk.nextPrecharge)
@@ -299,20 +349,61 @@ func (c *Channel) EarliestIssue(cmd Cmd, t Target) uint64 {
 		if c.T.TWTR > 0 && rk.writeDataEnd > 0 {
 			at = maxU64(at, rk.writeDataEnd+uint64(c.T.TWTR))
 		}
-		if need, busy := c.busNeed(t.Rank, false); busy && need > uint64(c.T.TCL) {
-			at = maxU64(at, need-uint64(c.T.TCL))
-		}
 	case CmdWrite:
 		at = maxU64(at, bk.nextWrite)
-		if need, busy := c.busNeed(t.Rank, true); busy && need > uint64(c.T.TCWD) {
-			at = maxU64(at, need-uint64(c.T.TCWD))
-		}
 	case CmdRefresh:
 		// Refresh is issued by the channel's own engine on its tREFI
 		// schedule; the controller never asks when it could issue one.
 	}
 	return at
 }
+
+// ColumnBusReady returns the first cycle the data bus lets the column
+// command launch for the rank (0 when unconstrained; non-column commands
+// are never bus-constrained). The value depends only on data-bus state, so
+// it can be cached against the channel's bus version.
+//
+//burstmem:hotpath
+func (c *Channel) ColumnBusReady(cmd Cmd, rankIdx int) uint64 {
+	switch cmd {
+	case CmdRead:
+		if need, busy := c.busNeed(rankIdx, false); busy && need > uint64(c.T.TCL) {
+			return need - uint64(c.T.TCL)
+		}
+	case CmdWrite:
+		if need, busy := c.busNeed(rankIdx, true); busy && need > uint64(c.T.TCWD) {
+			return need - uint64(c.T.TCWD)
+		}
+	case CmdPrecharge, CmdActivate, CmdRefresh:
+		// Row commands and refreshes never touch the data bus.
+	}
+	return 0
+}
+
+// StateVersion returns a counter that increments on every device-state
+// mutation (command issue, auto-precharge, refresh start). While it is
+// unchanged — and only commands the caller itself issues could change it —
+// every cached EarliestReady/ColumnBusReady bound remains exact.
+//
+//burstmem:hotpath
+func (c *Channel) StateVersion() uint64 { return c.stateVer }
+
+// BankVersion returns the bank's mutation counter (see StateVersion).
+//
+//burstmem:hotpath
+func (c *Channel) BankVersion(rankIdx, bankIdx int) uint32 {
+	return c.ranks[rankIdx].banks[bankIdx].ver
+}
+
+// RankVersion returns the rank's mutation counter (see StateVersion).
+//
+//burstmem:hotpath
+func (c *Channel) RankVersion(rankIdx int) uint32 { return c.ranks[rankIdx].ver }
+
+// BusVersion returns the data-bus mutation counter (see StateVersion).
+//
+//burstmem:hotpath
+func (c *Channel) BusVersion() uint32 { return c.busVer }
 
 // busNeed returns the first cycle the data bus could start a new transfer
 // for the rank (including turnaround gaps), and whether the bus has been
@@ -338,14 +429,7 @@ func (c *Channel) busNeed(rankIdx int, isWrite bool) (uint64, bool) {
 //
 //burstmem:hotpath
 func (c *Channel) AccountSkipped(k uint64) {
-	for r := range c.ranks {
-		for b := range c.ranks[r].banks {
-			if c.ranks[r].banks[b].open {
-				c.Stats.ActiveRankCycles += k
-				break
-			}
-		}
-	}
+	c.Stats.ActiveRankCycles += k * uint64(c.openRanks)
 }
 
 // OpenRow returns the open row of a bank, if any.
@@ -513,6 +597,12 @@ func (c *Channel) Issue(cmd Cmd, t Target, autoPrecharge bool) IssueResult {
 		c.Stats.Activates++
 		c.tr.Command(now, trace.EvActivate, c.chIdx, t.Rank, t.Bank, t.Row, 0, 0)
 		bk.open = true
+		bk.ver++
+		rk.ver++
+		c.stateVer++
+		if rk.openBanks++; rk.openBanks == 1 {
+			c.openRanks++
+		}
 		bk.row = t.Row
 		bk.nextRead = now + uint64(c.T.TRCD)
 		bk.nextWrite = now + uint64(c.T.TRCD)
@@ -529,6 +619,8 @@ func (c *Channel) Issue(cmd Cmd, t Target, autoPrecharge bool) IssueResult {
 		res.DataEnd = res.DataStart + uint64(c.T.DataCycles())
 		c.tr.Command(now, trace.EvRead, c.chIdx, t.Rank, t.Bank, t.Row, res.DataStart, res.DataEnd)
 		c.occupyBus(t.Rank, false, res)
+		bk.ver++
+		c.stateVer++
 		gap := uint64(c.T.DataCycles())
 		bk.nextRead = now + gap
 		bk.nextWrite = now + gap
@@ -543,6 +635,9 @@ func (c *Channel) Issue(cmd Cmd, t Target, autoPrecharge bool) IssueResult {
 		c.tr.Command(now, trace.EvWrite, c.chIdx, t.Rank, t.Bank, t.Row, res.DataStart, res.DataEnd)
 		c.occupyBus(t.Rank, true, res)
 		rk.writeDataEnd = res.DataEnd
+		bk.ver++
+		rk.ver++
+		c.stateVer++
 		gap := uint64(c.T.DataCycles())
 		bk.nextRead = now + gap
 		bk.nextWrite = now + gap
@@ -573,6 +668,9 @@ func (c *Channel) issuePrecharge(rankIdx, bankIdx int) {
 	c.tr.Command(c.now, trace.EvPrecharge, c.chIdx, rankIdx, bankIdx, bk.row, 0, 0)
 	bk.open = false
 	bk.nextActivate = maxU64(bk.nextActivate, c.now+uint64(c.T.TRP))
+	bk.ver++
+	c.stateVer++
+	c.closeBankAccounting(rankIdx)
 }
 
 // autoClose models a column access with auto-precharge: the bank closes as
@@ -587,6 +685,19 @@ func (c *Channel) autoClose(rankIdx, bankIdx int, preAt uint64) {
 	c.tr.Command(c.now, trace.EvAutoPrecharge, c.chIdx, rankIdx, bankIdx, bk.row, preAt, preAt)
 	bk.open = false
 	bk.nextActivate = maxU64(bk.nextActivate, preAt+uint64(c.T.TRP))
+	bk.ver++
+	c.stateVer++
+	c.closeBankAccounting(rankIdx)
+}
+
+// closeBankAccounting updates the open-bank counters after a bank closes.
+//
+//burstmem:hotpath
+func (c *Channel) closeBankAccounting(rankIdx int) {
+	rk := &c.ranks[rankIdx]
+	if rk.openBanks--; rk.openBanks == 0 {
+		c.openRanks--
+	}
 }
 
 //burstmem:hotpath
@@ -595,6 +706,8 @@ func (c *Channel) occupyBus(rankIdx int, isWrite bool, res IssueResult) {
 	c.busLastRank = rankIdx
 	c.busLastWrite = isWrite
 	c.busUsed = true
+	c.busVer++
+	c.stateVer++
 	c.Stats.DataBusCycles += uint64(c.T.DataCycles())
 }
 

@@ -142,6 +142,7 @@ func TestSanitizerTriggers(t *testing.T) {
 				// Bug: the refresh engine thinks every bank is precharged.
 				c.ranks[0].banks[0].open = false
 				c.ranks[0].nextRefresh = 11
+				c.refreshWake = 11 // keep the wake cache consistent with the poke
 				c.Tick(11) // engine starts the refresh immediately
 			},
 		},
@@ -150,7 +151,8 @@ func TestSanitizerTriggers(t *testing.T) {
 			want: "during refresh (rank busy until cycle",
 			run: func(t *testing.T, c *Channel) {
 				c.ranks[0].nextRefresh = 5
-				c.Tick(5) // refresh starts; rank busy until 5+51=56
+				c.refreshWake = 5 // keep the wake cache consistent with the poke
+				c.Tick(5)         // refresh starts; rank busy until 5+51=56
 				c.Tick(6)
 				// Bug: the rank forgot it is mid-refresh.
 				c.ranks[0].refreshUntil = 0

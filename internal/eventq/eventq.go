@@ -1,0 +1,181 @@
+// Package eventq provides the allocation-free priority structures behind
+// the simulator's O(1) scheduling and idle-skip machinery: a hierarchical
+// bitmap priority queue (Queue) and a cycle-keyed event wheel built on top
+// of it (Wheel).
+//
+// Queue follows the pooled quantum-queue shape: a two-level radix of
+// summary words — one level-0 word whose bit g marks group g non-empty,
+// and 64 level-1 words whose bit b marks bucket g*64+b non-empty — over
+// NumKeys = 4096 FIFO buckets. Finding the minimum occupied bucket is two
+// bits.TrailingZeros64 calls; membership is intrusive (per-handle next/prev
+// links in preallocated arrays), so Insert, Remove, Update, PeekMin and
+// PopMin are all O(1) and never allocate after New.
+//
+// Handles are small dense integers chosen by the caller — flat bank indices
+// for the controller engine, source indices for the system-level wheel —
+// which makes them directly compatible with the pooled Access objects from
+// PR 1: the pool index is the handle, and no per-entry storage is ever
+// allocated or freed.
+package eventq
+
+import "math/bits"
+
+const (
+	groupBits = 6
+	groupSize = 1 << groupBits // 64 buckets per level-1 word
+	// NumKeys is the number of priority buckets: one level-0 summary word
+	// fanning out to 64 level-1 words of 64 buckets each.
+	NumKeys = groupSize * groupSize // 4096
+	none    = int32(-1)
+)
+
+// Queue is a hierarchical bitmap priority queue over integer keys in
+// [0, NumKeys). Entries with equal keys pop in insertion order (FIFO), which
+// keeps every consumer deterministic. The zero value is not usable; call
+// NewQueue.
+type Queue struct {
+	summary uint64   // level 0: bit g set ⇔ groups[g] != 0
+	groups  []uint64 // level 1: bit b of word g set ⇔ bucket g*64+b non-empty
+	head    []int32  // per bucket: first handle, or none
+	tail    []int32  // per bucket: last handle, or none
+	next    []int32  // per handle: next in bucket FIFO
+	prev    []int32  // per handle: previous in bucket FIFO
+	key     []int32  // per handle: current bucket, or none when not queued
+	size    int
+}
+
+// NewQueue returns a queue accepting handles in [0, capacity). All storage
+// is allocated here; no later operation allocates.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		panic("eventq: capacity must be positive")
+	}
+	q := &Queue{
+		groups: make([]uint64, groupSize),
+		head:   make([]int32, NumKeys),
+		tail:   make([]int32, NumKeys),
+		next:   make([]int32, capacity),
+		prev:   make([]int32, capacity),
+		key:    make([]int32, capacity),
+	}
+	for i := range q.head {
+		q.head[i] = none
+		q.tail[i] = none
+	}
+	for i := range q.key {
+		q.key[i] = none
+	}
+	return q
+}
+
+// Len returns the number of queued handles.
+func (q *Queue) Len() int { return q.size }
+
+// Empty reports whether no handle is queued.
+func (q *Queue) Empty() bool { return q.size == 0 }
+
+// Contains reports whether handle h is currently queued.
+//
+//burstmem:hotpath
+func (q *Queue) Contains(h int) bool { return q.key[h] != none }
+
+// Key returns handle h's current bucket, or -1 when h is not queued.
+//
+//burstmem:hotpath
+func (q *Queue) Key(h int) int { return int(q.key[h]) }
+
+// Insert queues handle h under key, at the back of the key's FIFO bucket.
+// It panics if h is already queued or key is out of range.
+//
+//burstmem:hotpath
+func (q *Queue) Insert(h, key int) {
+	if q.key[h] != none {
+		panic("eventq: handle already queued")
+	}
+	if key < 0 || key >= NumKeys {
+		panic("eventq: key out of range")
+	}
+	q.key[h] = int32(key)
+	q.next[h] = none
+	t := q.tail[key]
+	q.prev[h] = t
+	if t == none {
+		q.head[key] = int32(h)
+		g := key >> groupBits
+		q.groups[g] |= 1 << uint(key&(groupSize-1))
+		q.summary |= 1 << uint(g)
+	} else {
+		q.next[t] = int32(h)
+	}
+	q.tail[key] = int32(h)
+	q.size++
+}
+
+// Remove unlinks handle h if queued; it is a no-op otherwise.
+//
+//burstmem:hotpath
+func (q *Queue) Remove(h int) {
+	k := q.key[h]
+	if k == none {
+		return
+	}
+	n, p := q.next[h], q.prev[h]
+	if p == none {
+		q.head[k] = n
+	} else {
+		q.next[p] = n
+	}
+	if n == none {
+		q.tail[k] = p
+	} else {
+		q.prev[n] = p
+	}
+	if q.head[k] == none {
+		g := int(k) >> groupBits
+		q.groups[g] &^= 1 << uint(int(k)&(groupSize-1))
+		if q.groups[g] == 0 {
+			q.summary &^= 1 << uint(g)
+		}
+	}
+	q.key[h] = none
+	q.size--
+}
+
+// Update moves handle h to key. If h already sits in that bucket it keeps
+// its FIFO position; otherwise it is removed and re-inserted at the new
+// bucket's back. Updating an unqueued handle is an insert.
+//
+//burstmem:hotpath
+func (q *Queue) Update(h, key int) {
+	if q.key[h] == int32(key) {
+		return
+	}
+	q.Remove(h)
+	q.Insert(h, key)
+}
+
+// PeekMin returns the front handle of the lowest occupied bucket without
+// removing it. ok is false when the queue is empty.
+//
+//burstmem:hotpath
+func (q *Queue) PeekMin() (h, key int, ok bool) {
+	if q.summary == 0 {
+		return 0, 0, false
+	}
+	g := bits.TrailingZeros64(q.summary)
+	b := bits.TrailingZeros64(q.groups[g])
+	key = g<<groupBits | b
+	return int(q.head[key]), key, true
+}
+
+// PopMin removes and returns the front handle of the lowest occupied
+// bucket. ok is false when the queue is empty.
+//
+//burstmem:hotpath
+func (q *Queue) PopMin() (h, key int, ok bool) {
+	h, key, ok = q.PeekMin()
+	if ok {
+		q.Remove(h)
+	}
+	return h, key, ok
+}

@@ -1,0 +1,372 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQueue is the naive reference: a slice of (handle, key, seq) scanned and
+// sorted on every query. Equal keys order by insertion sequence, matching
+// Queue's FIFO buckets.
+type refEntry struct {
+	h, key int
+	seq    int
+}
+
+type refQueue struct {
+	entries []refEntry
+	seq     int
+}
+
+func (r *refQueue) find(h int) int {
+	for i, e := range r.entries {
+		if e.h == h {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refQueue) insert(h, key int) {
+	r.entries = append(r.entries, refEntry{h, key, r.seq})
+	r.seq++
+}
+
+func (r *refQueue) remove(h int) {
+	if i := r.find(h); i >= 0 {
+		r.entries = append(r.entries[:i], r.entries[i+1:]...)
+	}
+}
+
+func (r *refQueue) update(h, key int) {
+	if i := r.find(h); i >= 0 {
+		if r.entries[i].key == key {
+			return
+		}
+		r.remove(h)
+	}
+	r.insert(h, key)
+}
+
+func (r *refQueue) peekMin() (h, key int, ok bool) {
+	if len(r.entries) == 0 {
+		return 0, 0, false
+	}
+	sorted := append([]refEntry(nil), r.entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].key != sorted[j].key {
+			return sorted[i].key < sorted[j].key
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	return sorted[0].h, sorted[0].key, true
+}
+
+func (r *refQueue) contains(h int) bool { return r.find(h) >= 0 }
+
+func (r *refQueue) keyOf(h int) int {
+	if i := r.find(h); i >= 0 {
+		return r.entries[i].key
+	}
+	return -1
+}
+
+// checkAgree cross-checks every observable between Queue and the reference.
+func checkAgree(t *testing.T, q *Queue, ref *refQueue, capacity int, step int) {
+	t.Helper()
+	if q.Len() != len(ref.entries) {
+		t.Fatalf("step %d: Len=%d want %d", step, q.Len(), len(ref.entries))
+	}
+	h, k, ok := q.PeekMin()
+	rh, rk, rok := ref.peekMin()
+	if ok != rok || (ok && (h != rh || k != rk)) {
+		t.Fatalf("step %d: PeekMin=(%d,%d,%v) want (%d,%d,%v)", step, h, k, ok, rh, rk, rok)
+	}
+	for i := 0; i < capacity; i++ {
+		if q.Contains(i) != ref.contains(i) {
+			t.Fatalf("step %d: Contains(%d)=%v want %v", step, i, q.Contains(i), ref.contains(i))
+		}
+		if q.Key(i) != ref.keyOf(i) {
+			t.Fatalf("step %d: Key(%d)=%d want %d", step, i, q.Key(i), ref.keyOf(i))
+		}
+	}
+}
+
+// runDifferential drives both implementations with one op stream.
+func runDifferential(t *testing.T, rng *rand.Rand, capacity, keyRange, steps int) {
+	t.Helper()
+	q := NewQueue(capacity)
+	ref := &refQueue{}
+	for step := 0; step < steps; step++ {
+		h := rng.Intn(capacity)
+		key := rng.Intn(keyRange)
+		switch op := rng.Intn(10); {
+		case op < 3: // insert (skip if queued; Queue panics by contract)
+			if !q.Contains(h) {
+				q.Insert(h, key)
+				ref.insert(h, key)
+			}
+		case op < 5:
+			q.Remove(h)
+			ref.remove(h)
+		case op < 8:
+			q.Update(h, key)
+			ref.update(h, key)
+		default:
+			gh, gk, gok := q.PopMin()
+			rh, rk, rok := ref.peekMin()
+			if gok != rok || (gok && (gh != rh || gk != rk)) {
+				t.Fatalf("step %d: PopMin=(%d,%d,%v) want (%d,%d,%v)", step, gh, gk, gok, rh, rk, rok)
+			}
+			if rok {
+				ref.remove(rh)
+			}
+		}
+		checkAgree(t, q, ref, capacity, step)
+	}
+}
+
+func TestQueueDifferentialSmallKeys(t *testing.T) {
+	// Narrow key range forces deep FIFO buckets and exercises tie order.
+	runDifferential(t, rand.New(rand.NewSource(1)), 16, 4, 4000)
+}
+
+func TestQueueDifferentialWideKeys(t *testing.T) {
+	runDifferential(t, rand.New(rand.NewSource(2)), 64, NumKeys, 4000)
+}
+
+func TestQueueDifferentialGroupBoundaries(t *testing.T) {
+	// Keys straddling level-1 word boundaries (63/64, 127/128, ...).
+	rng := rand.New(rand.NewSource(3))
+	q := NewQueue(8)
+	ref := &refQueue{}
+	keys := []int{0, 1, 63, 64, 65, 127, 128, NumKeys - 2, NumKeys - 1}
+	for step := 0; step < 3000; step++ {
+		h := rng.Intn(8)
+		key := keys[rng.Intn(len(keys))]
+		if q.Contains(h) {
+			q.Remove(h)
+			ref.remove(h)
+		} else {
+			q.Insert(h, key)
+			ref.insert(h, key)
+		}
+		checkAgree(t, q, ref, 8, step)
+	}
+}
+
+func TestQueueSingleElement(t *testing.T) {
+	q := NewQueue(1)
+	if _, _, ok := q.PeekMin(); ok {
+		t.Fatal("empty queue PeekMin ok")
+	}
+	q.Insert(0, 77)
+	if h, k, ok := q.PeekMin(); !ok || h != 0 || k != 77 {
+		t.Fatalf("PeekMin=(%d,%d,%v)", h, k, ok)
+	}
+	q.Update(0, 12)
+	if h, k, ok := q.PopMin(); !ok || h != 0 || k != 12 {
+		t.Fatalf("PopMin=(%d,%d,%v)", h, k, ok)
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after PopMin")
+	}
+	q.Remove(0) // no-op on unqueued handle
+	if q.Len() != 0 {
+		t.Fatal("Remove on empty changed size")
+	}
+}
+
+func TestQueueFullOccupancy(t *testing.T) {
+	// Every handle queued, then drained; pops must come out in (key, FIFO)
+	// order and leave pristine state.
+	const capacity = 512
+	q := NewQueue(capacity)
+	ref := &refQueue{}
+	rng := rand.New(rand.NewSource(4))
+	for h := 0; h < capacity; h++ {
+		key := rng.Intn(NumKeys)
+		q.Insert(h, key)
+		ref.insert(h, key)
+	}
+	if q.Len() != capacity {
+		t.Fatalf("Len=%d want %d", q.Len(), capacity)
+	}
+	for i := 0; i < capacity; i++ {
+		gh, gk, gok := q.PopMin()
+		rh, rk, rok := ref.peekMin()
+		if !gok || !rok || gh != rh || gk != rk {
+			t.Fatalf("drain %d: got (%d,%d,%v) want (%d,%d,%v)", i, gh, gk, gok, rh, rk, rok)
+		}
+		ref.remove(rh)
+	}
+	if !q.Empty() || q.summary != 0 {
+		t.Fatalf("residual state after drain: len=%d summary=%#x", q.Len(), q.summary)
+	}
+	for g, w := range q.groups {
+		if w != 0 {
+			t.Fatalf("residual group word %d: %#x", g, w)
+		}
+	}
+}
+
+func TestQueueInsertPanics(t *testing.T) {
+	q := NewQueue(4)
+	q.Insert(1, 10)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"double insert", func() { q.Insert(1, 11) }},
+		{"key too large", func() { q.Insert(2, NumKeys) }},
+		{"negative key", func() { q.Insert(2, -1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+// FuzzQueueDifferential replays arbitrary op streams against the reference.
+// Each byte pair encodes (op, handle/key material).
+func FuzzQueueDifferential(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3, 3})
+	f.Add([]byte{0, 63, 0, 64, 3, 0, 3, 0, 3, 0})
+	f.Add([]byte{0, 5, 2, 5, 1, 5, 0, 5, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const capacity = 32
+		q := NewQueue(capacity)
+		ref := &refQueue{}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, v := data[i]%4, data[i+1]
+			h := int(v) % capacity
+			key := int(v) * 37 % NumKeys
+			switch op {
+			case 0:
+				if !q.Contains(h) {
+					q.Insert(h, key)
+					ref.insert(h, key)
+				}
+			case 1:
+				q.Remove(h)
+				ref.remove(h)
+			case 2:
+				q.Update(h, key)
+				ref.update(h, key)
+			case 3:
+				gh, gk, gok := q.PopMin()
+				rh, rk, rok := ref.peekMin()
+				if gok != rok || (gok && (gh != rh || gk != rk)) {
+					t.Fatalf("op %d: PopMin=(%d,%d,%v) want (%d,%d,%v)", i, gh, gk, gok, rh, rk, rok)
+				}
+				if rok {
+					ref.remove(rh)
+				}
+			}
+			checkAgree(t, q, ref, capacity, i)
+		}
+	})
+}
+
+func TestWheelScheduleAndPeek(t *testing.T) {
+	w := NewWheel(8)
+	if _, ok := w.PeekMin(); ok {
+		t.Fatal("empty wheel PeekMin ok")
+	}
+	w.Schedule(3, 100)
+	w.Schedule(5, 40)
+	w.Schedule(1, 40) // FIFO behind 5, same deadline
+	if at, ok := w.PeekMin(); !ok || at != 40 {
+		t.Fatalf("PeekMin=%d,%v want 40", at, ok)
+	}
+	if d := w.Deadline(3); d != 100 {
+		t.Fatalf("Deadline(3)=%d", d)
+	}
+	w.Cancel(5)
+	w.Cancel(1)
+	if at, ok := w.PeekMin(); !ok || at != 100 {
+		t.Fatalf("PeekMin=%d,%v want 100", at, ok)
+	}
+	w.Schedule(3, 7) // reschedule earlier
+	if at, ok := w.PeekMin(); !ok || at != 7 {
+		t.Fatalf("PeekMin=%d,%v want 7", at, ok)
+	}
+	w.Schedule(3, NoDeadline) // schedule-with-sentinel cancels
+	if w.Scheduled(3) || w.Len() != 0 {
+		t.Fatal("NoDeadline schedule did not cancel")
+	}
+	if d := w.Deadline(3); d != NoDeadline {
+		t.Fatalf("Deadline(3)=%d after cancel", d)
+	}
+}
+
+func TestWheelFarBucketConservative(t *testing.T) {
+	w := NewWheel(4)
+	far := uint64(10 * Horizon)
+	w.Schedule(0, far)
+	at, ok := w.PeekMin()
+	if !ok {
+		t.Fatal("PeekMin not ok")
+	}
+	// Far events report the clamped lower bound, never later than truth.
+	if at > far {
+		t.Fatalf("far bound %d exceeds true deadline %d", at, far)
+	}
+	if at != uint64(Horizon) {
+		t.Fatalf("far bound %d want %d", at, Horizon)
+	}
+	// After rebasing near the deadline the value becomes exact.
+	if !w.NeedRebase(far - 100) {
+		t.Fatal("NeedRebase false far from base")
+	}
+	w.Rebase(far - 100)
+	if at, ok = w.PeekMin(); !ok || at != far {
+		t.Fatalf("post-rebase PeekMin=%d,%v want %d", at, ok, far)
+	}
+}
+
+func TestWheelPastDueStaysConservative(t *testing.T) {
+	w := NewWheel(4)
+	w.Rebase(1000)
+	w.Schedule(0, 500) // already past the base
+	at, ok := w.PeekMin()
+	if !ok || at > 500 {
+		t.Fatalf("past-due PeekMin=%d,%v; must not exceed true deadline", at, ok)
+	}
+}
+
+func TestWheelRebasePreservesSet(t *testing.T) {
+	w := NewWheel(64)
+	rng := rand.New(rand.NewSource(9))
+	want := map[int]uint64{}
+	for h := 0; h < 64; h += 2 {
+		at := uint64(rng.Intn(3 * Horizon))
+		w.Schedule(h, at)
+		want[h] = at
+	}
+	w.Rebase(uint64(Horizon))
+	if w.Len() != len(want) {
+		t.Fatalf("Len=%d want %d", w.Len(), len(want))
+	}
+	for h, at := range want {
+		if !w.Scheduled(h) || w.Deadline(h) != at {
+			t.Fatalf("handle %d: deadline %d want %d", h, w.Deadline(h), at)
+		}
+	}
+	// The minimum must match a naive scan (conservatively: never later).
+	min := NoDeadline
+	for _, at := range want {
+		if at < min {
+			min = at
+		}
+	}
+	if at, ok := w.PeekMin(); !ok || at > min {
+		t.Fatalf("PeekMin=%d,%v exceeds naive min %d", at, ok, min)
+	}
+}

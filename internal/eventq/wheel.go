@@ -1,0 +1,135 @@
+package eventq
+
+// NoDeadline is the Wheel's "no event scheduled" sentinel, matching the
+// convention used by the controller's NextEventCycle hints.
+const NoDeadline = ^uint64(0)
+
+// Horizon is the exact range of a Wheel: deadlines up to base+Horizon-1
+// land in their own bucket; anything further shares the far bucket and is
+// reported conservatively as base+Horizon until a Rebase pulls it closer.
+const Horizon = NumKeys - 1
+
+// Wheel is an event wheel keyed by absolute memory cycle, built on Queue.
+// Each handle carries one pending deadline. Deadlines are bucketed by their
+// offset from the wheel's base cycle: offsets within the horizon get exact
+// buckets, later ones share the far bucket. PeekMin therefore returns the
+// exact earliest deadline when it is near, and a conservative lower bound
+// (base+Horizon) when every pending event is far — callers that use the
+// bound to skip idle cycles can never skip past a real event, only stop
+// short of one.
+type Wheel struct {
+	q        *Queue
+	deadline []uint64 // per handle; valid while scheduled
+	scratch  []int32  // rebase staging, capacity handles
+	base     uint64
+}
+
+// NewWheel returns a wheel accepting handles in [0, capacity). All storage
+// is allocated here; no later operation allocates.
+func NewWheel(capacity int) *Wheel {
+	return &Wheel{
+		q:        NewQueue(capacity),
+		deadline: make([]uint64, capacity),
+		scratch:  make([]int32, 0, capacity),
+	}
+}
+
+// Len returns the number of scheduled handles.
+func (w *Wheel) Len() int { return w.q.Len() }
+
+// Base returns the wheel's current base cycle.
+func (w *Wheel) Base() uint64 { return w.base }
+
+// Scheduled reports whether handle h has a pending deadline.
+//
+//burstmem:hotpath
+func (w *Wheel) Scheduled(h int) bool { return w.q.Contains(h) }
+
+// Deadline returns handle h's pending deadline; NoDeadline if unscheduled.
+//
+//burstmem:hotpath
+func (w *Wheel) Deadline(h int) uint64 {
+	if !w.q.Contains(h) {
+		return NoDeadline
+	}
+	return w.deadline[h]
+}
+
+// bucket maps an absolute deadline to its bucket under the current base.
+//
+//burstmem:hotpath
+func (w *Wheel) bucket(at uint64) int {
+	if at <= w.base {
+		return 0
+	}
+	if off := at - w.base; off < Horizon {
+		return int(off)
+	}
+	return Horizon
+}
+
+// Schedule sets handle h's deadline to the absolute cycle at, replacing any
+// previous deadline. Scheduling NoDeadline cancels instead.
+//
+//burstmem:hotpath
+func (w *Wheel) Schedule(h int, at uint64) {
+	if at == NoDeadline {
+		w.q.Remove(h)
+		return
+	}
+	w.deadline[h] = at
+	w.q.Update(h, w.bucket(at))
+}
+
+// Cancel drops handle h's pending deadline, if any.
+//
+//burstmem:hotpath
+func (w *Wheel) Cancel(h int) { w.q.Remove(h) }
+
+// PeekMin returns the earliest pending deadline. The value is exact while
+// the earliest event is within the horizon; when only far-bucket events
+// remain it is the conservative lower bound base+Horizon (never later than
+// any real deadline). ok is false when nothing is scheduled.
+//
+//burstmem:hotpath
+func (w *Wheel) PeekMin() (at uint64, ok bool) {
+	h, key, ok := w.q.PeekMin()
+	if !ok {
+		return NoDeadline, false
+	}
+	if key == Horizon {
+		return w.base + Horizon, true
+	}
+	// Near buckets hold exactly one deadline value each, so the FIFO head's
+	// stored deadline is the bucket minimum (bucket 0 holds past-due entries
+	// whose exact deadline no longer matters to any caller).
+	if key == 0 {
+		return w.deadline[h], true
+	}
+	return w.base + uint64(key), true
+}
+
+// Rebase advances the wheel's base to now, re-bucketing every pending
+// deadline so far-bucket entries regain exact buckets. O(pending); call it
+// when now has drifted far past the base (see NeedRebase), not per cycle.
+func (w *Wheel) Rebase(now uint64) {
+	w.scratch = w.scratch[:0]
+	for {
+		h, _, ok := w.q.PopMin()
+		if !ok {
+			break
+		}
+		//lint:ignore hotalloc scratch capacity equals the handle count, set at NewWheel
+		w.scratch = append(w.scratch, int32(h))
+	}
+	w.base = now
+	for _, h := range w.scratch {
+		w.q.Insert(int(h), w.bucket(w.deadline[h]))
+	}
+}
+
+// NeedRebase reports whether now has drifted past half the horizon, the
+// point where fresh deadlines start losing bucket resolution.
+//
+//burstmem:hotpath
+func (w *Wheel) NeedRebase(now uint64) bool { return now-w.base > Horizon/2 }

@@ -7,6 +7,7 @@ import (
 	"burstmem/internal/dram"
 	"burstmem/internal/stats"
 	"burstmem/internal/trace"
+	"burstmem/internal/u64map"
 )
 
 // RowPolicy is the static controller page policy (paper Section 2).
@@ -186,7 +187,7 @@ type Controller struct {
 
 	// pendingWriteLines maps line address -> newest pending write, per
 	// channel, for RAW forwarding.
-	pendingWriteLines []map[uint64]*Access
+	pendingWriteLines []*u64map.Map[*Access]
 
 	completions completionHeap
 	nextID      uint64
@@ -256,7 +257,7 @@ func New(cfg Config, factory Factory) (*Controller, error) {
 		c.channels = append(c.channels, ch)
 		c.hosts = append(c.hosts, host)
 		c.mechs = append(c.mechs, factory(host))
-		c.pendingWriteLines = append(c.pendingWriteLines, make(map[uint64]*Access))
+		c.pendingWriteLines = append(c.pendingWriteLines, u64map.New[*Access](cfg.MaxWrites))
 	}
 	return c, nil
 }
@@ -325,7 +326,7 @@ func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uin
 	line := addr &^ uint64(c.cfg.Geometry.LineBytes-1)
 
 	if kind == KindRead && mech.ForwardsWrites() && !c.cfg.NoForwarding {
-		if _, hit := c.pendingWriteLines[chIdx][line]; hit {
+		if _, hit := c.pendingWriteLines[chIdx].Get(line); hit {
 			// Paper Fig. 4: forward the latest write's data; the read
 			// completes immediately and never enters the queues.
 			a := c.acquire()
@@ -365,7 +366,7 @@ func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uin
 	} else {
 		c.poolWrites++
 		c.Stats.AcceptedWrites++
-		c.pendingWriteLines[chIdx][line] = a
+		c.pendingWriteLines[chIdx].Put(line, a)
 	}
 	c.tracer.Enqueue(c.now, chIdx, int(loc.Rank), int(loc.Bank), loc.Row, a.ID, kind == KindWrite)
 	mech.Enqueue(a, c.now)
@@ -498,8 +499,8 @@ func (c *Controller) finish(a *Access, at uint64) {
 		c.poolWrites--
 		chIdx := int(a.Loc.Channel)
 		line := a.LineAddr(c.cfg.Geometry.LineBytes)
-		if c.pendingWriteLines[chIdx][line] == a {
-			delete(c.pendingWriteLines[chIdx], line)
+		if cur, ok := c.pendingWriteLines[chIdx].Get(line); ok && cur == a {
+			c.pendingWriteLines[chIdx].Delete(line)
 		}
 	}
 	if !a.Forwarded {

@@ -259,30 +259,36 @@ func (s *rowHit) Tick(now uint64) {
 	if !ch.CommandSlotFree() {
 		return
 	}
-	cands := s.engine.Candidates()
-	best := -1
-	for i, c := range cands {
-		if !c.Unblocked {
-			continue
-		}
-		if best < 0 || betterColFirst(c, cands[best]) {
-			best = i
-		}
+	// Column transactions beat row transactions; oldest access breaks
+	// ties. The engine's class masks hand both categories over directly.
+	cl, any := s.engine.Unblocked(now)
+	if !any {
+		return
 	}
-	if best >= 0 {
-		s.engine.Issue(cands[best], now)
+	r, b, ok := oldestInMasks(s.engine, cl.ColRead, cl.ColWrite)
+	if !ok {
+		r, b, _ = oldestInMasks(s.engine, cl.RowRead, cl.RowWrite)
 	}
+	s.engine.Issue(s.engine.CandidateAt(r, b), now)
 }
 
-// betterColFirst orders candidates: column transactions beat row
-// transactions; oldest access breaks ties.
+// oldestInMasks returns the bank holding the oldest ongoing access among
+// the union of the two per-rank class masks (rank-major scan; arrival ties
+// go to the lowest rank/bank, like the candidate scan it replaces).
 //
 //burstmem:hotpath
-func betterColFirst(a, b memctrl.Candidate) bool {
-	if a.IsColumn() != b.IsColumn() {
-		return a.IsColumn()
+func oldestInMasks(e *memctrl.Engine, a, b []uint64) (int, int, bool) {
+	bestR, bestB := -1, -1
+	var bestArrival uint64
+	for r := range a {
+		for m := a[r] | b[r]; m != 0; m &= m - 1 {
+			bk := bits.TrailingZeros64(m)
+			if acc := e.Ongoing(r, bk); bestR < 0 || acc.Arrival < bestArrival {
+				bestR, bestB, bestArrival = r, bk, acc.Arrival
+			}
+		}
 	}
-	return a.Access.Arrival < b.Access.Arrival
+	return bestR, bestB, bestR >= 0
 }
 
 // intel: per-bank read queues (row-hit read first, else oldest), one write
@@ -492,32 +498,24 @@ func (s *intel) oldestSafeWrite(r, b int) *memctrl.Access {
 type roundRobin struct {
 	ranks, banks int
 	next         int
-	byBank       []int // scratch: flattened bank index -> candidate index+1
 }
 
 func newRoundRobin(ranks, banks int) *roundRobin {
-	return &roundRobin{ranks: ranks, banks: banks, byBank: make([]int, ranks*banks)}
+	return &roundRobin{ranks: ranks, banks: banks}
 }
 
 //burstmem:hotpath
 func (rr *roundRobin) issue(e *memctrl.Engine, now uint64) {
-	total := rr.ranks * rr.banks
-	cands := e.Candidates()
-	if len(cands) == 0 {
+	cl, any := e.Unblocked(now)
+	if !any {
 		return
 	}
-	for i := range rr.byBank {
-		rr.byBank[i] = 0
-	}
-	for i, c := range cands {
-		if c.Unblocked {
-			rr.byBank[c.Rank*rr.banks+c.Bank] = i + 1
-		}
-	}
+	total := rr.ranks * rr.banks
 	for i := 0; i < total; i++ {
 		idx := (rr.next + i) % total
-		if ci := rr.byBank[idx]; ci != 0 {
-			e.Issue(cands[ci-1], now)
+		r, b := idx/rr.banks, idx%rr.banks
+		if cl.Rank(r)&(1<<uint(b)) != 0 {
+			e.Issue(e.CandidateAt(r, b), now)
 			rr.next = idx + 1
 			return
 		}

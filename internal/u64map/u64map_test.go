@@ -1,0 +1,112 @@
+package u64map
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDifferential drives the table against a Go map with a random op mix,
+// including key 0 (valid despite the bias encoding) and clustered keys that
+// force long probe chains and backward-shift deletions.
+func TestDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New[int](4) // deliberately small hint so growth happens
+	ref := map[uint64]int{}
+	keyFor := func() uint64 {
+		switch rng.Intn(3) {
+		case 0:
+			return uint64(rng.Intn(8)) // dense cluster incl. 0
+		case 1:
+			return uint64(rng.Intn(64)) << 6 // line-address-like strides
+		default:
+			return rng.Uint64() >> uint(rng.Intn(60))
+		}
+	}
+	for step := 0; step < 200000; step++ {
+		k := keyFor()
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Int()
+			m.Put(k, v)
+			ref[k] = v
+		case 2:
+			m.Delete(k)
+			delete(ref, k)
+		default:
+			got, ok := m.Get(k)
+			want, wok := ref[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("step %d: Get(%d)=(%d,%v) want (%d,%v)", step, k, got, ok, want, wok)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d want %d", step, m.Len(), len(ref))
+		}
+	}
+	for k, want := range ref {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("final: Get(%d)=(%d,%v) want (%d,true)", k, got, ok, want)
+		}
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	m := New[string](2)
+	m.Put(0, "zero")
+	if v, ok := m.Get(0); !ok || v != "zero" {
+		t.Fatalf("Get(0)=(%q,%v)", v, ok)
+	}
+	m.Delete(0)
+	if _, ok := m.Get(0); ok || m.Len() != 0 {
+		t.Fatal("zero key not deleted")
+	}
+}
+
+func TestDeleteCompaction(t *testing.T) {
+	// Force a collision chain, delete its head, and check the tail is
+	// still reachable (backward shift must close the gap).
+	m := New[uint64](8)
+	// Find three keys hashing to the same slot.
+	base := uint64(1)
+	s := m.slot(base)
+	var chain []uint64
+	for k := base; len(chain) < 3; k++ {
+		if m.slot(k) == s {
+			chain = append(chain, k)
+		}
+	}
+	for _, k := range chain {
+		m.Put(k, k*10)
+	}
+	m.Delete(chain[0])
+	for _, k := range chain[1:] {
+		if v, ok := m.Get(k); !ok || v != k*10 {
+			t.Fatalf("chain key %d lost after head delete: (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	m := New[int](4)
+	m.Put(7, 1)
+	m.Put(7, 2)
+	if v, _ := m.Get(7); v != 2 || m.Len() != 1 {
+		t.Fatalf("replace failed: v=%d len=%d", v, m.Len())
+	}
+}
+
+func TestNoAllocSteadyState(t *testing.T) {
+	m := New[int](32)
+	for i := uint64(0); i < 32; i++ {
+		m.Put(i, int(i))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Put(5, 9)
+		m.Get(17)
+		m.Delete(5)
+		m.Put(5, 9)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", allocs)
+	}
+}

@@ -20,7 +20,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME=3x
+# 10 iterations per case: the 1-CPU container swings ±20% run to run, and
+# 3x samples were dominated by that noise.
+BENCHTIME=10x
 OUT=BENCH_sim.json
 if [[ "${1:-}" == "-short" ]]; then
     BENCHTIME=1x
@@ -32,6 +34,14 @@ echo "$RAW"
 
 [[ -z "$OUT" ]] && exit 0
 
+# Event-queue microbenchmarks: the per-operation cost of the hierarchical
+# bitmap queue and the wheel underpinning every next-event lookup. These run
+# at a fixed benchtime (they are nanosecond-scale; 3 iterations would be
+# meaningless) and land in the same JSON so a queue regression is as visible
+# as a simulator one.
+QRAW=$(go test -run '^$' -bench 'BenchmarkEventQueue|BenchmarkEventWheel' -benchtime 2s ./internal/eventq/)
+echo "$QRAW"
+
 # Wall time of the full static-analysis suite (build of burstlint itself
 # excluded: compile first, then time the lint run).
 go build -o /tmp/burstlint.$$ ./cmd/burstlint
@@ -42,8 +52,19 @@ rm -f /tmp/burstlint.$$
 LINT_MS=$(( (LINT_NS_END - LINT_NS_START) / 1000000 ))
 echo "burstlint ./...: ${LINT_MS} ms"
 
-echo "$RAW" | awk -v lint_ms="$LINT_MS" '
+{ echo "$RAW"; echo "$QRAW"; } | awk -v lint_ms="$LINT_MS" '
 BEGIN { print "["; first = 1 }
+/^BenchmarkEventQueue|^BenchmarkEventWheel/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    nsop = ""
+    for (i = 2; i <= NF; i++) if ($(i+1) == "ns/op") nsop = $i
+    if (nsop == "") next
+    if (!first) print ","
+    first = 0
+    printf "  {\"case\": \"eventq/%s\", \"ns_per_op\": %s}", name, nsop
+}
 /^BenchmarkSimThroughput\// {
     name = $1
     sub(/^BenchmarkSimThroughput\//, "", name)

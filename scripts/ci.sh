@@ -22,6 +22,15 @@ go test -race ./...
 echo "== go test -tags invariants (protocol sanitizer armed) =="
 go test -tags invariants ./internal/mctest/ ./internal/sim/ ./internal/dram/ ./internal/memctrl/
 
+echo "== eventq gate (differential fuzz seed corpus + event-wheel shadow check) =="
+# The fuzz seeds replay the recorded operation sequences against the naive
+# reference queue; the invariants build then cross-checks the engine's
+# wheel-predicted next-event cycle against the linear scan on a live
+# simulation (an over-estimate would let an idle skip jump a real event).
+go test -count=1 -run 'FuzzQueueDifferential|TestQueueDifferential|TestWheel' ./internal/eventq/
+go test -count=1 -tags invariants -run 'TestEngineShadow' ./internal/memctrl/
+go test -count=1 -tags invariants -run 'TestTraceSkipEquivalence' ./internal/sim/
+
 echo "== traced simulation (memsim -trace, exported JSON must parse) =="
 tracetmp="$(mktemp -d)"
 trap 'rm -rf "$tracetmp"' EXIT
