@@ -13,10 +13,18 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden file from curr
 
 // TestGoldenDirty pins the CLI contract on a tree with findings: one
 // diagnostic per line, sorted by file then line then analyzer, paths
-// relative to the working directory, exit status 1.
+// relative to the working directory, exit status 1. The dram corpus
+// package sits under a testdata/src/internal/dram path so the
+// interprocedural analyzers treat it as simulation scope; helpers is the
+// out-of-scope package its detflow finding crosses into (go list never
+// descends into testdata, so each directory is passed explicitly).
 func TestGoldenDirty(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"./testdata/src/dirty"}, &stdout, &stderr)
+	code := run([]string{
+		"./testdata/src/dirty",
+		"./testdata/src/helpers",
+		"./testdata/src/internal/dram",
+	}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit code %d on a dirty tree, want 1 (stderr: %s)", code, stderr.String())
 	}
@@ -62,7 +70,10 @@ func TestGoldenDirty(t *testing.T) {
 		}
 		prev = cur
 	}
-	for _, a := range []string{"hotalloc", "nilcheck", "errflow", "idxrange", "lockcheck"} {
+	for _, a := range []string{
+		"hotalloc", "nilcheck", "errflow", "idxrange", "lockcheck",
+		"sharestate", "detflow", "goroutcheck",
+	} {
 		if !seen[a] {
 			t.Errorf("no %s diagnostic in golden output (analyzers seen: %v)", a, seen)
 		}

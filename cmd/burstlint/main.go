@@ -8,17 +8,25 @@
 //
 // Analyzers (see each package's doc for the exact contract):
 //
-//	detlint     nondeterminism sources in simulation packages
-//	hotalloc    heap allocations in //burstmem:hotpath functions
-//	exhaustive  non-exhaustive switches over protocol enums
-//	nilcheck    unguarded dereferences of possibly-nil *trace.Tracer values
-//	errflow     error values dropped before reaching a check
-//	idxrange    DRAM coordinates indexing mismatched-dimension containers
-//	lockcheck   Lock without matching Unlock on some path to return
+//	detlint      nondeterminism sources in simulation packages
+//	hotalloc     heap allocations in //burstmem:hotpath functions
+//	exhaustive   non-exhaustive switches over protocol enums
+//	nilcheck     unguarded dereferences of possibly-nil *trace.Tracer values
+//	errflow      error values dropped before reaching a check
+//	idxrange     DRAM coordinates indexing mismatched-dimension containers
+//	lockcheck    Lock without matching Unlock on some path to return
+//	sharestate   hot-path-reachable state must carry ownership annotations
+//	detflow      nondeterminism reached through out-of-scope callees
+//	goroutcheck  loop capture, WaitGroup balance, unguarded shared writes
 //
-// The last four run a worklist dataflow solver over per-function control
-// flow graphs (internal/analysis/cfg, internal/analysis/dataflow); the
-// first three are single-pass AST walks.
+// nilcheck/errflow/idxrange/lockcheck run a worklist dataflow solver over
+// per-function control flow graphs (internal/analysis/cfg,
+// internal/analysis/dataflow); detlint/hotalloc/exhaustive are single-pass
+// AST walks. The last three are the interprocedural tier: they run once
+// over the whole loaded program on top of a CHA call graph
+// (internal/analysis/callgraph) and per-function effect summaries
+// (internal/analysis/summary), built once and shared through the program's
+// result cache — `-timing` prints how long that shared build took.
 //
 // Output is one diagnostic per line, `file:line:col: analyzer: message`,
 // sorted by file, line, then analyzer name; paths are shown relative to
@@ -36,16 +44,20 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/detflow"
 	"burstmem/internal/analysis/detlint"
 	"burstmem/internal/analysis/errflow"
 	"burstmem/internal/analysis/exhaustive"
+	"burstmem/internal/analysis/goroutcheck"
 	"burstmem/internal/analysis/hotalloc"
 	"burstmem/internal/analysis/idxrange"
 	"burstmem/internal/analysis/lockcheck"
 	"burstmem/internal/analysis/nilcheck"
+	"burstmem/internal/analysis/sharestate"
 )
 
 // analyzers is the full suite, in registration order (output order is by
@@ -58,6 +70,9 @@ var analyzers = []*analysis.Analyzer{
 	errflow.Analyzer,
 	idxrange.Analyzer,
 	lockcheck.Analyzer,
+	sharestate.Analyzer,
+	detflow.Analyzer,
+	goroutcheck.Analyzer,
 }
 
 func main() {
@@ -69,8 +84,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("burstlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	timing := fs.Bool("timing", false, "print interprocedural build times (callgraph, summary) to stderr")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: burstlint [packages]\n\nruns the burstmem analyzers (detlint, hotalloc, exhaustive, nilcheck,\nerrflow, idxrange, lockcheck) over the package patterns (default ./...)\n")
+		fmt.Fprintf(stderr, "usage: burstlint [-timing] [packages]\n\nruns the burstmem analyzers (detlint, hotalloc, exhaustive, nilcheck,\nerrflow, idxrange, lockcheck, sharestate, detflow, goroutcheck) over the\npackage patterns (default ./...)\n")
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,7 +100,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "burstlint:", err)
 		return 2
 	}
-	diags := analysis.Run(pkgs, analyzers)
+	prog := analysis.NewProgram(pkgs)
+	diags := prog.Run(analyzers)
+	if *timing {
+		keys := make([]string, 0, len(prog.Timings))
+		for k := range prog.Timings {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(stderr, "timing %s %dms\n", k, prog.Timings[k].Milliseconds())
+		}
+	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		cwd = "" // keep absolute paths rather than guess

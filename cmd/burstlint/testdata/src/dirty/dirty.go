@@ -34,6 +34,16 @@ func crossDimension(s *state, loc addrmap.Loc) uint32 {
 	return s.banks[loc.Rank]
 }
 
+// spawnAll reads a variable the loop reassigns from inside the spawned
+// goroutine (goroutcheck).
+func spawnAll(jobs []string) {
+	var cur string
+	for _, j := range jobs {
+		cur = j
+		go func() { _ = len(cur) }()
+	}
+}
+
 // leakyLock returns holding the mutex on the early path (lockcheck).
 func leakyLock(s *state) int {
 	s.mu.Lock()

@@ -1,0 +1,9 @@
+// Package helpers is burstlint golden-test data: an out-of-scope utility
+// package hiding nondeterminism behind an ordinary-looking call, for the
+// detflow boundary finding in the dram corpus package.
+package helpers
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }

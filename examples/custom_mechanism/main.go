@@ -14,15 +14,21 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"burstmem"
 )
 
 // oldestFirst is the custom mechanism. One instance drives one channel.
+//
+// keys mirrors the map's key set in sorted (rank, bank) order: Tick must
+// visit banks deterministically, and ranging over the map directly would
+// put Go's randomized iteration order in the simulated timeline.
 type oldestFirst struct {
 	host   *burstmem.Host
 	engine *burstmem.Engine
 	queues map[[2]int][]*burstmem.Access
+	keys   [][2]int
 	reads  int
 	writes int
 }
@@ -47,6 +53,15 @@ func (m *oldestFirst) Pending() (int, int) { return m.reads, m.writes }
 // Enqueue implements burstmem.Mechanism.
 func (m *oldestFirst) Enqueue(a *burstmem.Access, now uint64) {
 	key := [2]int{int(a.Loc.Rank), int(a.Loc.Bank)}
+	if _, ok := m.queues[key]; !ok {
+		i := sort.Search(len(m.keys), func(i int) bool {
+			k := m.keys[i]
+			return k[0] > key[0] || (k[0] == key[0] && k[1] >= key[1])
+		})
+		m.keys = append(m.keys, [2]int{})
+		copy(m.keys[i+1:], m.keys[i:])
+		m.keys[i] = key
+	}
 	m.queues[key] = append(m.queues[key], a)
 	if a.Kind == burstmem.KindRead {
 		m.reads++
@@ -64,9 +79,11 @@ func (m *oldestFirst) onColumn(a *burstmem.Access, now uint64) {
 }
 
 // Tick implements burstmem.Mechanism: refill every idle bank with its
-// oldest access, then issue the oldest unblocked transaction.
+// oldest access, then issue the oldest unblocked transaction. Banks are
+// visited through the sorted key mirror, never by ranging the map.
 func (m *oldestFirst) Tick(now uint64) {
-	for key, q := range m.queues {
+	for _, key := range m.keys {
+		q := m.queues[key]
 		if len(q) == 0 || m.engine.Ongoing(key[0], key[1]) != nil {
 			continue
 		}

@@ -25,9 +25,14 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run and RunProgram
+// is set: Run analyzers see one package at a time, RunProgram analyzers
+// see the whole loaded program at once (the interprocedural tier —
+// callgraph-backed passes like sharestate and detflow need every function
+// body before they can say anything about any of them).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and //lint:ignore
 	// comments.
@@ -37,6 +42,8 @@ type Analyzer struct {
 	// Run executes the check over one package, reporting findings through
 	// pass.Report.
 	Run func(pass *Pass)
+	// RunProgram executes the check once over all loaded packages.
+	RunProgram func(pass *ProgramPass)
 }
 
 // Pass is the interface between one Analyzer run and one loaded package.
@@ -72,20 +79,100 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Program is the whole loaded program: every analyzable package plus a
+// keyed result cache shared by the interprocedural analyzers, so the call
+// graph and effect summaries are built once per process no matter how many
+// passes consume them.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs are the cleanly loaded packages, in load order.
+	Pkgs []*Package
+	// Broken are the packages with load errors; they are excluded from
+	// analysis (their ASTs and type info may be partial) and their errors
+	// are reported instead.
+	Broken []*Package
+
+	cache map[string]any
+	// Timings records, per cache key, how long the build function took —
+	// scripts/bench.sh charts the interprocedural share of burstlint's
+	// wall time from this.
+	Timings map[string]time.Duration
+}
+
+// NewProgram partitions loaded packages into analyzable and broken. All
+// packages from one Load share one FileSet; a Program from zero packages
+// has a nil Fset.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{cache: map[string]any{}, Timings: map[string]time.Duration{}}
+	for _, pkg := range pkgs {
+		p.Fset = pkg.Fset
+		if len(pkg.Errors) > 0 {
+			p.Broken = append(p.Broken, pkg)
+			continue
+		}
+		p.Pkgs = append(p.Pkgs, pkg)
+	}
+	return p
+}
+
+// Cached returns the value under key, invoking build at most once per
+// Program. This is the summary-cache: callgraph + summary construction is
+// the expensive half of the interprocedural tier, and sharestate, detflow
+// and goroutcheck all read the same build through this choke point.
+func (p *Program) Cached(key string, build func() any) any {
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	start := time.Now()
+	v := build()
+	p.Timings[key] = time.Since(start)
+	p.cache[key] = v
+	return v
+}
+
+// ProgramPass is the interface between one RunProgram analyzer and the
+// whole program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Run executes the analyzers over the loaded packages and returns the
 // surviving (non-suppressed) diagnostics sorted by position. A package
 // that failed to load contributes its load errors as diagnostics and is
 // not analyzed — its ASTs and type information may be partial, and every
 // analyzer here assumes both are whole.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return NewProgram(pkgs).Run(analyzers)
+}
+
+// Run executes the analyzers — the per-package tier first, then the
+// whole-program tier — and returns surviving diagnostics sorted by
+// position. Callers that need the Program afterwards (burstlint's -timing
+// flag reads Timings) construct it explicitly via NewProgram.
+func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		if len(pkg.Errors) > 0 {
-			out = append(out, pkg.Errors...)
-			continue
-		}
-		ign := collectIgnores(pkg)
+	for _, pkg := range prog.Broken {
+		out = append(out, pkg.Errors...)
+	}
+	ign := ignoreSet{}
+	for _, pkg := range prog.Pkgs {
+		collectIgnores(pkg, ign)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -94,6 +181,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				TypesInfo: pkg.TypesInfo,
 			}
 			a.Run(pass)
+			for _, d := range pass.diags {
+				if !ign.suppressed(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	if len(prog.Pkgs) > 0 {
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
+			}
+			pass := &ProgramPass{Analyzer: a, Prog: prog}
+			a.RunProgram(pass)
 			for _, d := range pass.diags {
 				if !ign.suppressed(a.Name, d.Pos) {
 					out = append(out, d)
@@ -124,9 +225,10 @@ type ignoreKey struct {
 
 type ignoreSet map[ignoreKey]bool
 
-// collectIgnores scans a package's comments for //lint:ignore directives.
-func collectIgnores(pkg *Package) ignoreSet {
-	set := ignoreSet{}
+// collectIgnores scans a package's comments for //lint:ignore directives,
+// adding them to set (one merged set serves both analyzer tiers: a program
+// analyzer's diagnostic may land in any package).
+func collectIgnores(pkg *Package, set ignoreSet) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -143,7 +245,6 @@ func collectIgnores(pkg *Package) ignoreSet {
 			}
 		}
 	}
-	return set
 }
 
 // suppressed reports whether a directive on the diagnostic's line or the

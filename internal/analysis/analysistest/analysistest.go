@@ -19,12 +19,13 @@ import (
 
 var wantRe = regexp.MustCompile("// want [\"`](.+)[\"`]")
 
-// Run loads the package at dir (a path relative to the analyzer's package
+// Run loads the packages at dirs (paths relative to the analyzer's package
 // directory, e.g. "./testdata/src/internal/core"), applies the analyzer and
-// compares diagnostics with // want comments.
-func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+// compares diagnostics with // want comments. Multi-package corpora list
+// every directory explicitly: go list patterns never descend into testdata.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
 	t.Helper()
-	pkgs, err := analysis.Load(dir)
+	pkgs, err := analysis.Load(dirs...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,239 @@
+// Cross-universe type matching for CHA.
+//
+// Every loaded package is type-checked from source against compiler export
+// data, so a named type has one *types.Named object in its own package's
+// universe and another in each importer's. Object-identity based APIs
+// (types.Implements, types.Identical) say "different" for the same type
+// seen from two universes; the comparator here instead treats named types
+// as equal when their (package path, name) and type arguments match, and
+// compares everything else structurally.
+package callgraph
+
+import (
+	"go/types"
+	"sort"
+
+	"burstmem/internal/analysis"
+)
+
+// candidate is one named, non-interface type declared in the program,
+// with its pointer method set indexed by method name.
+type candidate struct {
+	named   *types.Named
+	methods map[string]*types.Func
+}
+
+// typeIndex inventories the program's named types for interface dispatch.
+type typeIndex struct {
+	graph      *Graph
+	candidates []*candidate
+
+	// memo caches CHA results per (interface identity in some universe,
+	// method name). Interfaces recur at many call sites of the same
+	// package, so this collapses the quadratic re-scan.
+	memo map[ifaceMethodKey][]*Func
+}
+
+type ifaceMethodKey struct {
+	iface  *types.Interface
+	method string
+}
+
+func newTypeIndex(prog *analysis.Program) *typeIndex {
+	ix := &typeIndex{memo: map[ifaceMethodKey][]*Func{}}
+	for _, pkg := range prog.Pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			if named.TypeParams().Len() > 0 {
+				// A generic type only implements an interface once
+				// instantiated; CHA over uninstantiated generics would
+				// compare unbound type parameters. Out of scope (the
+				// simulator's interfaces are all non-generic).
+				continue
+			}
+			c := &candidate{named: named, methods: map[string]*types.Func{}}
+			ms := types.NewMethodSet(types.NewPointer(named))
+			for i := 0; i < ms.Len(); i++ {
+				if m, ok := ms.At(i).Obj().(*types.Func); ok {
+					c.methods[m.Name()] = m
+				}
+			}
+			ix.candidates = append(ix.candidates, c)
+		}
+	}
+	return ix
+}
+
+// implementations returns the nodes of method `name` on every candidate
+// type whose pointer method set satisfies the whole interface, sorted by
+// ID for deterministic edge order.
+func (ix *typeIndex) implementations(iface *types.Interface, name string) []*Func {
+	key := ifaceMethodKey{iface, name}
+	if out, ok := ix.memo[key]; ok {
+		return out
+	}
+	var out []*Func
+	for _, c := range ix.candidates {
+		if !ix.satisfies(c, iface) {
+			continue
+		}
+		m := c.methods[name]
+		if m == nil {
+			continue
+		}
+		out = append(out, ix.graph.declared(m))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	ix.memo[key] = out
+	return out
+}
+
+// satisfies reports whether the candidate's pointer method set covers
+// every method of the interface with a structurally matching signature.
+func (ix *typeIndex) satisfies(c *candidate, iface *types.Interface) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		im := iface.Method(i)
+		m := c.methods[im.Name()]
+		if m == nil {
+			return false
+		}
+		if !sameSignature(m.Type().(*types.Signature), im.Type().(*types.Signature)) {
+			return false
+		}
+	}
+	return iface.NumMethods() > 0
+}
+
+// sameSignature compares two signatures ignoring receivers.
+func sameSignature(a, b *types.Signature) bool {
+	if a.Variadic() != b.Variadic() {
+		return false
+	}
+	return sameTuple(a.Params(), b.Params(), nil) && sameTuple(a.Results(), b.Results(), nil)
+}
+
+func sameTuple(a, b *types.Tuple, seen map[typePair]bool) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !sameType(a.At(i).Type(), b.At(i).Type(), seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// typePair guards against cycles through recursive types.
+type typePair struct{ a, b types.Type }
+
+// sameType is structural type equality with named types compared by
+// (package path, name, type arguments) rather than object identity.
+func sameType(a, b types.Type, seen map[typePair]bool) bool {
+	a, b = types.Unalias(a), types.Unalias(b)
+	if a == b {
+		return true
+	}
+	if seen == nil {
+		seen = map[typePair]bool{}
+	}
+	pair := typePair{a, b}
+	if seen[pair] {
+		return true // already comparing this pair higher in the stack
+	}
+	seen[pair] = true
+
+	switch a := a.(type) {
+	case *types.Named:
+		bn, ok := b.(*types.Named)
+		if !ok || !sameTypeName(a.Obj(), bn.Obj()) {
+			return false
+		}
+		aa, ba := a.TypeArgs(), bn.TypeArgs()
+		if aa.Len() != ba.Len() {
+			return false
+		}
+		for i := 0; i < aa.Len(); i++ {
+			if !sameType(aa.At(i), ba.At(i), seen) {
+				return false
+			}
+		}
+		return true
+	case *types.Basic:
+		bb, ok := b.(*types.Basic)
+		return ok && a.Kind() == bb.Kind()
+	case *types.Pointer:
+		bp, ok := b.(*types.Pointer)
+		return ok && sameType(a.Elem(), bp.Elem(), seen)
+	case *types.Slice:
+		bs, ok := b.(*types.Slice)
+		return ok && sameType(a.Elem(), bs.Elem(), seen)
+	case *types.Array:
+		ba, ok := b.(*types.Array)
+		return ok && a.Len() == ba.Len() && sameType(a.Elem(), ba.Elem(), seen)
+	case *types.Map:
+		bm, ok := b.(*types.Map)
+		return ok && sameType(a.Key(), bm.Key(), seen) && sameType(a.Elem(), bm.Elem(), seen)
+	case *types.Chan:
+		bc, ok := b.(*types.Chan)
+		return ok && a.Dir() == bc.Dir() && sameType(a.Elem(), bc.Elem(), seen)
+	case *types.Signature:
+		bs, ok := b.(*types.Signature)
+		return ok && a.Variadic() == bs.Variadic() &&
+			sameTuple(a.Params(), bs.Params(), seen) && sameTuple(a.Results(), bs.Results(), seen)
+	case *types.Struct:
+		bs, ok := b.(*types.Struct)
+		if !ok || a.NumFields() != bs.NumFields() {
+			return false
+		}
+		for i := 0; i < a.NumFields(); i++ {
+			af, bf := a.Field(i), bs.Field(i)
+			if af.Name() != bf.Name() || af.Embedded() != bf.Embedded() ||
+				a.Tag(i) != bs.Tag(i) || !sameType(af.Type(), bf.Type(), seen) {
+				return false
+			}
+		}
+		return true
+	case *types.Interface:
+		bi, ok := b.(*types.Interface)
+		if !ok || a.NumMethods() != bi.NumMethods() {
+			return false
+		}
+		for i := 0; i < a.NumMethods(); i++ {
+			am, bm := a.Method(i), bi.Method(i) // both sorted by go/types
+			if am.Name() != bm.Name() ||
+				!sameType(am.Type(), bm.Type(), seen) {
+				return false
+			}
+		}
+		return true
+	case *types.TypeParam:
+		bt, ok := b.(*types.TypeParam)
+		return ok && a.Index() == bt.Index()
+	}
+	// Tuple and anything exotic: fall back to printed form.
+	return a.String() == b.String()
+}
+
+// sameTypeName compares two type-name objects by package path and name.
+func sameTypeName(a, b *types.TypeName) bool {
+	if a.Name() != b.Name() {
+		return false
+	}
+	ap, bp := a.Pkg(), b.Pkg()
+	if (ap == nil) != (bp == nil) {
+		return false
+	}
+	return ap == nil || ap.Path() == bp.Path()
+}

@@ -1,0 +1,13 @@
+// Package cgdep is the dependency half of the callgraph corpus: it
+// declares an implementor of cg.Iface so interface dispatch must unify
+// type identities across separately type-checked packages.
+package cgdep
+
+// Impl implements cg.Iface from another package.
+type Impl struct{ N int }
+
+// M is the dispatched method.
+func (i *Impl) M(x int) int { return x + i.N }
+
+// Helper is a plain cross-package static callee.
+func Helper() int { return 1 }

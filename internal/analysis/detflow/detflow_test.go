@@ -1,0 +1,13 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer,
+		"./testdata/src/internal/sim", "./testdata/src/helpers")
+}

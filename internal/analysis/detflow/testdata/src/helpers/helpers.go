@@ -1,0 +1,31 @@
+// Package helpers is detflow test data: an out-of-scope utility package
+// whose functions hide nondeterminism behind ordinary-looking calls.
+package helpers
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// DeepClock hides the clock one call deeper.
+func DeepClock() int64 { return Stamp() }
+
+// Pick iterates a map.
+func Pick(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Roll uses the process-seeded generator.
+func Roll() int { return rand.Intn(6) }
+
+// Fire spawns a goroutine.
+func Fire(f func()) { go f() }
+
+// Pure is deterministic: calls of it are never flagged.
+func Pure(x int) int { return 2 * x }

@@ -1,0 +1,717 @@
+// Package goroutcheck polices the goroutines the repository is allowed to
+// have — the experiment harness's worker pools today, detlint-exempted
+// per-channel workers tomorrow — for the three mistakes that make a
+// correct-looking fan-out silently wrong:
+//
+//   - Loop-variable capture: a spawned closure reading a variable that the
+//     enclosing loop reassigns sees whatever iteration the scheduler lands
+//     on. Go 1.22 made `:=`-declared loop variables per-iteration, so only
+//     variables declared *outside* the loop and written by it are flagged;
+//     the fix is to pass the value as an argument.
+//   - WaitGroup imbalance: wg.Add must precede the spawn (an Add inside
+//     the goroutine races with Wait), and wg.Done must be reached on every
+//     control-flow path through the goroutine body — checked on the CFG,
+//     where the defer chain makes `defer wg.Done()` cover all paths by
+//     construction.
+//   - Unguarded shared writes: a store to a captured variable or package
+//     variable from a spawned goroutine must happen while a mutex is held.
+//     Held locks are tracked with a must-hold forward dataflow over the
+//     goroutine's CFG (Lock/RLock acquire, Unlock/RUnlock release), so
+//     `mu.Lock(); m[k] = v; mu.Unlock()` is clean and the same store on an
+//     early-return path that skipped the Lock is not. Writes to distinct
+//     elements of a captured slice indexed by a goroutine-local value are
+//     exempt — the worker-pool idiom `results[i] = r` partitions, rather
+//     than shares, the slice — but map writes always need the lock:
+//     concurrent map writes crash regardless of key disjointness.
+//
+// The analyzer is interprocedural where it pays: a call from an unguarded
+// goroutine to a function whose effect summary (internal/analysis/summary)
+// writes package-level state is flagged at the call, and `go f()` of a
+// named function that writes globals without any locking of its own is
+// flagged at the spawn.
+//
+// Suppression uses the standard `//lint:ignore goroutcheck <reason>`.
+package goroutcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/astx"
+	"burstmem/internal/analysis/callgraph"
+	"burstmem/internal/analysis/cfg"
+	"burstmem/internal/analysis/dataflow"
+	"burstmem/internal/analysis/summary"
+)
+
+// Analyzer is the goroutcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "goroutcheck",
+	Doc:        "spawned goroutines must not capture loop-written variables, must balance WaitGroup Add/Done on all paths, and must hold a lock when writing shared state",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) {
+	set := summary.Of(pass.Prog)
+	for _, fn := range set.Graph.Source {
+		if fn.Body() == nil {
+			continue
+		}
+		checkLoopCapture(pass, fn)
+		checkWaitGroups(pass, fn)
+		for _, e := range fn.Out {
+			if e.Kind != callgraph.Spawn || e.Callee == nil {
+				continue
+			}
+			switch {
+			case e.Callee.Lit != nil && e.Callee.Parent == fn:
+				checkSpawnedLit(pass, set, fn, e.Callee)
+			case e.Callee.Decl != nil:
+				checkSpawnedNamed(pass, set, e)
+			}
+		}
+	}
+}
+
+// ---- loop-variable capture ----
+
+func checkLoopCapture(pass *analysis.ProgramPass, fn *callgraph.Func) {
+	info := fn.Pkg.TypesInfo
+	var loops []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Its own node spawns are its own loop contexts.
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			saved := loops
+			loops = append(loops, n)
+			for _, c := range children(n) {
+				ast.Inspect(c, walk)
+			}
+			loops = saved
+			return false
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && len(loops) > 0 {
+				reportLoopCaptures(pass, info, loops, n, lit)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body(), walk)
+}
+
+// children returns the non-nil sub-nodes of a loop to walk with the loop
+// pushed.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		if n.Init != nil {
+			out = append(out, n.Init)
+		}
+		if n.Cond != nil {
+			out = append(out, n.Cond)
+		}
+		if n.Post != nil {
+			out = append(out, n.Post)
+		}
+		out = append(out, n.Body)
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			out = append(out, n.Key)
+		}
+		if n.Value != nil {
+			out = append(out, n.Value)
+		}
+		out = append(out, n.X, n.Body)
+	}
+	return out
+}
+
+// reportLoopCaptures flags free variables of the spawned literal that some
+// enclosing loop writes while being declared outside that loop.
+func reportLoopCaptures(pass *analysis.ProgramPass, info *types.Info, loops []ast.Node, g *ast.GoStmt, lit *ast.FuncLit) {
+	seen := map[*types.Var]bool{}
+	var flagged []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] {
+			return true
+		}
+		seen[v] = true
+		if within(v.Pos(), lit) {
+			return true // goroutine-local
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package variable: the unguarded-write check's beat
+		}
+		for _, loop := range loops {
+			if !within(v.Pos(), loop) && assignedIn(info, loop, v) {
+				flagged = append(flagged, v.Name())
+				break
+			}
+		}
+		return true
+	})
+	sort.Strings(flagged)
+	for _, name := range flagged {
+		pass.Reportf(g.Pos(), "goroutine captures %s, which the enclosing loop writes on every iteration; pass it as an argument instead", name)
+	}
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}
+
+// assignedIn reports whether the loop's subtree writes v (plain
+// assignment, inc/dec, or a range clause reusing it).
+func assignedIn(info *types.Info, loop ast.Node, v *types.Var) bool {
+	found := false
+	isV := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.Uses[id] == v
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if isV(lhs) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isV(n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN && (n.Key != nil && isV(n.Key) || n.Value != nil && isV(n.Value)) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ---- WaitGroup balance ----
+
+// checkWaitGroups verifies, for every goroutine literal spawned by fn,
+// that Add happens outside the goroutine and Done is reached on all paths.
+func checkWaitGroups(pass *analysis.ProgramPass, fn *callgraph.Func) {
+	info := fn.Pkg.TypesInfo
+	// WaitGroup paths fn itself calls Add on, outside any literal.
+	adds := map[string]bool{}
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if path, method := wgCall(info, n); method == "Add" {
+			adds[path] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkSpawnedWaitGroup(pass, info, adds, g, lit)
+		return true
+	})
+}
+
+func checkSpawnedWaitGroup(pass *analysis.ProgramPass, info *types.Info, adds map[string]bool, g *ast.GoStmt, lit *ast.FuncLit) {
+	// Add inside the goroutine races with the enclosing Wait.
+	dones := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		path, method := wgCall(info, n)
+		switch method {
+		case "Add":
+			pass.Reportf(n.Pos(), "wg.Add inside the spawned goroutine races with Wait; call %s.Add before the go statement", path)
+		case "Done":
+			dones[path] = true
+		}
+		return true
+	})
+
+	// Every WaitGroup the encloser Adds on and the goroutine captures must
+	// be Done'd on all paths; a captured-but-never-Done'd one is the
+	// classic hang.
+	paths := make([]string, 0, len(adds))
+	for p := range adds {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var g2 *cfg.CFG
+	for _, p := range paths {
+		if !dones[p] {
+			if capturesPath(info, lit, p) {
+				pass.Reportf(g.Pos(), "%s.Add before this go statement has no matching %s.Done in the goroutine", p, p)
+			}
+			continue
+		}
+		if g2 == nil {
+			g2 = cfg.New(lit)
+		}
+		if exitReachableWithoutDone(g2, info, p) {
+			pass.Reportf(g.Pos(), "%s.Done may be skipped on some path through this goroutine; use `defer %s.Done()`", p, p)
+		}
+	}
+}
+
+// capturesPath reports whether the literal references the access path at
+// all (so a goroutine that never touches the WaitGroup — joined some other
+// way — is not flagged).
+func capturesPath(info *types.Info, lit *ast.FuncLit, path string) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && astx.PathString(e) == path {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exitReachableWithoutDone walks the CFG from entry, refusing to cross
+// blocks that call path.Done, and reports whether exit is reachable — i.e.
+// whether some orderly return skips the Done.
+func exitReachableWithoutDone(g *cfg.CFG, info *types.Info, path string) bool {
+	blocked := func(b *cfg.Block) bool {
+		for _, n := range b.Nodes {
+			done := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch x.(type) {
+				case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+					return false
+				}
+				if p, m := wgCall(info, x); m == "Done" && p == path {
+					done = true
+				}
+				return !done
+			})
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make([]bool, len(g.Blocks))
+	var stack []*cfg.Block
+	push := func(b *cfg.Block) {
+		if !seen[b.Index] && !blocked(b) {
+			seen[b.Index] = true
+			stack = append(stack, b)
+		}
+	}
+	push(g.Entry)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == g.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return false
+}
+
+// wgCall classifies a node as a sync.WaitGroup method call, returning the
+// receiver's access path and the method name ("" when it is not one).
+func wgCall(info *types.Info, n ast.Node) (path, method string) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+	default:
+		return "", ""
+	}
+	if tv, ok := info.Types[sel.X]; !ok || !astx.IsNamed(tv.Type, "sync", "WaitGroup") {
+		return "", ""
+	}
+	p := astx.PathString(sel.X)
+	if p == "" {
+		return "", ""
+	}
+	return p, sel.Sel.Name
+}
+
+// ---- unguarded shared writes ----
+
+// lockFact is the set of mutex access paths certainly held (must
+// analysis); nil is bottom (unreachable).
+type lockFact map[string]bool
+
+type lockProblem struct {
+	info *types.Info
+}
+
+func (p *lockProblem) Direction() dataflow.Direction { return dataflow.Forward }
+func (p *lockProblem) Boundary() lockFact            { return lockFact{} }
+func (p *lockProblem) Bottom() lockFact              { return nil }
+
+func (p *lockProblem) Join(a, b lockFact) lockFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := lockFact{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (p *lockProblem) Equal(a, b lockFact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *lockProblem) Transfer(b *cfg.Block, in lockFact) lockFact {
+	if in == nil {
+		return nil
+	}
+	out := lockFact{}
+	for k := range in {
+		out[k] = true
+	}
+	for _, n := range b.Nodes {
+		p.apply(n, out)
+	}
+	return out
+}
+
+// apply folds one node's lock transitions into the fact. Deferred and
+// spawned calls do not execute at their textual position; the CFG's defer
+// chain re-presents deferred calls as bare CallExprs at exit.
+func (p *lockProblem) apply(n ast.Node, f lockFact) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if path, acquire, ok := p.mutexOp(x); ok {
+				if acquire {
+					f[path] = true
+				} else {
+					delete(f, path)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp classifies a call as a mutex acquire/release on an access path.
+func (p *lockProblem) mutexOp(call *ast.CallExpr) (path string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	tv, found := p.info.Types[sel.X]
+	if !found || !(astx.IsNamed(tv.Type, "sync", "Mutex") || astx.IsNamed(tv.Type, "sync", "RWMutex")) {
+		return "", false, false
+	}
+	path = astx.PathString(sel.X)
+	if path == "" {
+		return "", false, false
+	}
+	return path, acquire, true
+}
+
+// checkSpawnedLit verifies every shared write in a spawned literal happens
+// under a held lock.
+func checkSpawnedLit(pass *analysis.ProgramPass, set *summary.Set, fn *callgraph.Func, lit *callgraph.Func) {
+	info := lit.Pkg.TypesInfo
+	g := cfg.New(lit.Lit)
+	prob := &lockProblem{info: info}
+	res := dataflow.Solve[lockFact](g, prob)
+
+	c := &litChecker{pass: pass, set: set, info: info, lit: lit.Lit}
+	for _, b := range g.Blocks {
+		in := res.In[b]
+		if in == nil {
+			continue // unreachable
+		}
+		f := lockFact{}
+		for k := range in {
+			f[k] = true
+		}
+		for _, n := range b.Nodes {
+			c.checkNode(n, f)
+			prob.apply(n, f)
+		}
+	}
+}
+
+// litChecker replays a spawned literal's blocks, diagnosing shared writes
+// and globally-effectful calls made with no lock held.
+type litChecker struct {
+	pass *analysis.ProgramPass
+	set  *summary.Set
+	info *types.Info
+	lit  *ast.FuncLit
+}
+
+func (c *litChecker) checkNode(n ast.Node, held lockFact) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if x != c.lit {
+				return false
+			}
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				c.checkWrite(lhs, held)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(x.X, held)
+		case *ast.RangeStmt:
+			if x.Tok == token.ASSIGN {
+				if x.Key != nil {
+					c.checkWrite(x.Key, held)
+				}
+				if x.Value != nil {
+					c.checkWrite(x.Value, held)
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(x, held)
+		}
+		return true
+	})
+}
+
+// checkWrite flags a store whose destination escapes the goroutine when no
+// lock is held.
+func (c *litChecker) checkWrite(lhs ast.Expr, held lockFact) {
+	if len(held) > 0 {
+		return
+	}
+	base, shape := c.classify(lhs)
+	if base == nil {
+		return
+	}
+	global := base.Pkg() != nil && base.Parent() == base.Pkg().Scope()
+	captured := !global && !within(base.Pos(), c.lit)
+	if !global && !captured {
+		return // goroutine-local
+	}
+	switch shape {
+	case writeMapElem:
+		c.pass.Reportf(lhs.Pos(), "map write to %s in a goroutine without holding a lock: concurrent map writes crash the process", base.Name())
+	case writeSliceElemLocalIndex:
+		// The partitioned worker-pool idiom: each goroutine owns its slot.
+	default:
+		what := "captured variable"
+		if global {
+			what = "package variable"
+		}
+		c.pass.Reportf(lhs.Pos(), "write to %s %s in a goroutine without holding a lock", what, base.Name())
+	}
+}
+
+// writeShape classifies the destination expression.
+type writeShape uint8
+
+const (
+	writeDirect writeShape = iota
+	writeMapElem
+	writeSliceElemLocalIndex
+	writeSliceElemSharedIndex
+)
+
+// classify walks the destination down to its base variable, noting whether
+// the store goes through a map element or a slice element with a
+// goroutine-local index.
+func (c *litChecker) classify(lhs ast.Expr) (*types.Var, writeShape) {
+	shape := writeDirect
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			if tv, ok := c.info.Types[e.X]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					shape = writeMapElem
+				case *types.Slice, *types.Array, *types.Pointer:
+					if shape == writeDirect {
+						if c.localExpr(e.Index) {
+							shape = writeSliceElemLocalIndex
+						} else {
+							shape = writeSliceElemSharedIndex
+						}
+					}
+				}
+			}
+			lhs = e.X
+		case *ast.Ident:
+			if e.Name == "_" {
+				return nil, shape
+			}
+			v, _ := c.info.Uses[e].(*types.Var)
+			return v, shape
+		default:
+			return nil, shape
+		}
+	}
+}
+
+// localExpr reports whether every variable the expression reads is
+// declared inside the goroutine.
+func (c *litChecker) localExpr(e ast.Expr) bool {
+	local := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := c.info.Uses[id].(*types.Var); ok && !within(v.Pos(), c.lit) {
+			local = false
+		}
+		return local
+	})
+	return local
+}
+
+// checkCall flags lock-free calls to statically known functions whose
+// summaries write package-level state.
+func (c *litChecker) checkCall(call *ast.CallExpr, held lockFact) {
+	if len(held) > 0 {
+		return
+	}
+	var obj *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj, _ = c.info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		obj, _ = c.info.Uses[fun.Sel].(*types.Func)
+	}
+	if obj == nil {
+		return
+	}
+	sum := c.set.Funcs[callgraph.FuncID(obj)]
+	if sum == nil {
+		return
+	}
+	for _, eff := range sum.Sorted() {
+		if eff.Kind == summary.GlobalWrite {
+			c.pass.Reportf(call.Pos(), "call of %s from a goroutine writes %s without holding a lock", obj.Name(), shortTarget(eff.Target))
+			return
+		}
+	}
+}
+
+// checkSpawnedNamed flags `go f()` of a named function that writes
+// package-level state with no locking anywhere in its body.
+func checkSpawnedNamed(pass *analysis.ProgramPass, set *summary.Set, e callgraph.Edge) {
+	sum := set.Funcs[e.Callee.ID]
+	if sum == nil || e.Callee.Body() == nil {
+		return
+	}
+	for _, eff := range sum.Sorted() {
+		if eff.Kind != summary.GlobalWrite {
+			continue
+		}
+		if bodyLocks(e.Callee) {
+			return
+		}
+		pass.Reportf(e.Pos, "spawned function %s writes %s with no locking", e.Callee.Name, shortTarget(eff.Target))
+		return
+	}
+}
+
+// bodyLocks reports whether the function's own body acquires any mutex —
+// the cheap proxy for "it synchronizes its writes itself".
+func bodyLocks(fn *callgraph.Func) bool {
+	info := fn.Pkg.TypesInfo
+	found := false
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				if tv, ok := info.Types[sel.X]; ok &&
+					(astx.IsNamed(tv.Type, "sync", "Mutex") || astx.IsNamed(tv.Type, "sync", "RWMutex")) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// shortTarget strips the directory part of an effect target.
+func shortTarget(target string) string {
+	for i := len(target) - 1; i >= 0; i-- {
+		if target[i] == '/' {
+			return target[i+1:]
+		}
+	}
+	return target
+}

@@ -1,0 +1,12 @@
+package goroutcheck_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/goroutcheck"
+)
+
+func TestGoroutcheck(t *testing.T) {
+	analysistest.Run(t, goroutcheck.Analyzer, "./testdata/src/gr")
+}

@@ -1,0 +1,205 @@
+// Package gr is goroutcheck test data: worker-pool idioms done right and
+// each of the three mistake classes done wrong.
+package gr
+
+import "sync"
+
+var counter int
+
+var gmu sync.Mutex
+
+// cleanPool is the idiomatic fan-out: per-iteration arguments, deferred
+// Done, map writes under the mutex, slice slots partitioned by a local
+// index. Nothing is flagged.
+func cleanPool(jobs []string) map[string]int {
+	out := make(map[string]int)
+	results := make([]int, len(jobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j string) {
+			defer wg.Done()
+			r := len(j)
+			results[i] = r
+			mu.Lock()
+			out[j] = r
+			mu.Unlock()
+		}(i, j)
+	}
+	wg.Wait()
+	return out
+}
+
+// loopCapture reads a variable the loop reassigns from inside the spawned
+// goroutine.
+func loopCapture(jobs []string) {
+	var wg sync.WaitGroup
+	var cur string
+	for _, j := range jobs {
+		cur = j
+		wg.Add(1)
+		go func() { // want `goroutine captures cur, which the enclosing loop writes`
+			defer wg.Done()
+			_ = len(cur)
+		}()
+	}
+	wg.Wait()
+}
+
+// loop122 uses Go 1.22 per-iteration loop variables directly: safe, not
+// flagged.
+func loop122(jobs []string) {
+	var wg sync.WaitGroup
+	for i := 0; i < len(jobs); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = jobs[i]
+		}()
+	}
+	wg.Wait()
+}
+
+// addInside moves the Add into the goroutine, racing with Wait.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `wg.Add inside the spawned goroutine races with Wait`
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// missingDone Adds but the goroutine never calls Done: Wait hangs.
+func missingDone(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `wg.Add before this go statement has no matching wg.Done`
+		_ = wg
+		f()
+	}()
+	wg.Wait()
+}
+
+// conditionalDone skips Done on the early-return path.
+func conditionalDone(jobs []string) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `wg.Done may be skipped on some path`
+		if len(jobs) == 0 {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// unguardedMap writes a captured map with no lock: crashes under
+// concurrency.
+func unguardedMap(out map[string]int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out["k"] = 1 // want `map write to out in a goroutine without holding a lock`
+	}()
+	wg.Wait()
+}
+
+// unguardedCaptured writes a captured variable with no lock.
+func unguardedCaptured() int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total++ // want `write to captured variable total in a goroutine without holding a lock`
+	}()
+	wg.Wait()
+	return total
+}
+
+// unguardedGlobal writes a package variable with no lock.
+func unguardedGlobal() {
+	done := make(chan struct{})
+	go func() {
+		counter++ // want `write to package variable counter in a goroutine without holding a lock`
+		close(done)
+	}()
+	<-done
+}
+
+// guardedGlobal holds the package mutex: clean.
+func guardedGlobal() {
+	done := make(chan struct{})
+	go func() {
+		gmu.Lock()
+		counter++
+		gmu.Unlock()
+		close(done)
+	}()
+	<-done
+}
+
+// lockSkippedOnPath holds the lock on one path only: the merged state is
+// "maybe unlocked", so the write is flagged.
+func lockSkippedOnPath(hot bool) {
+	done := make(chan struct{})
+	go func() {
+		if hot {
+			gmu.Lock()
+		}
+		counter++ // want `write to package variable counter in a goroutine without holding a lock`
+		if hot {
+			gmu.Unlock()
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// bumpCounter is the effectful helper the interprocedural check sees
+// through.
+func bumpCounter() { counter++ }
+
+// callEffectful calls a global-writing function from an unlocked
+// goroutine.
+func callEffectful() {
+	done := make(chan struct{})
+	go func() {
+		bumpCounter() // want `call of bumpCounter from a goroutine writes gr.counter without holding a lock`
+		close(done)
+	}()
+	<-done
+}
+
+// callEffectfulLocked makes the same call under the lock: clean.
+func callEffectfulLocked() {
+	done := make(chan struct{})
+	go func() {
+		gmu.Lock()
+		bumpCounter()
+		gmu.Unlock()
+		close(done)
+	}()
+	<-done
+}
+
+// spawnNamed spawns a named function that writes a global with no locking
+// of its own.
+func spawnNamed() {
+	go bumpCounter() // want `spawned function gr.bumpCounter writes gr.counter with no locking`
+}
+
+// lockedBump synchronizes itself, so spawning it is clean.
+func lockedBump() {
+	gmu.Lock()
+	counter++
+	gmu.Unlock()
+}
+
+// spawnNamedLocked spawns the self-locking variant: clean.
+func spawnNamedLocked() {
+	go lockedBump()
+}

@@ -1,0 +1,325 @@
+// Package sharestate is the shared-state ownership gate for the
+// parallel-sim refactor: every piece of mutable state the per-cycle hot
+// path can reach must declare who owns it.
+//
+// The planned parallelization runs each memory channel on its own
+// goroutine, so every struct field and package variable written from a
+// `//burstmem:hotpath` entry point in the simulation core (internal/{dram,
+// memctrl, core, sched, sim, trace}) must carry one of two ownership
+// annotations:
+//
+//	//burstmem:chanlocal
+//	//burstmem:shared <reason>
+//
+// chanlocal asserts the state is reached only through one channel's object
+// graph — safe to mutate without synchronization once channels run
+// concurrently. shared admits cross-channel access and must say how it
+// will be arbitrated (the reason is mandatory). The directive goes on the
+// type declaration (covering every field), on an individual field
+// (overriding the type), or on a package variable — which can only ever be
+// shared: every channel in the process sees a package variable, so
+// chanlocal on one is flagged as a contradiction.
+//
+// The gate is interprocedural: effect summaries
+// (internal/analysis/summary) over the CHA call graph give the transitive
+// write set of each hot-path entry, so state mutated five calls deep in
+// another package is held to the same standard as a direct store. Three
+// things are reported:
+//
+//   - a written field/variable in scope with no annotation (at its
+//     declaration, naming one reaching entry point);
+//   - an annotation that cannot be honoured (shared without a reason,
+//     chanlocal on a package variable);
+//   - an unresolved dynamic call reached from a hot-path entry: a call
+//     through a function value defeats the whole analysis, so the hot path
+//     refuses them (resolve it, or suppress with //lint:ignore sharestate
+//     and a reason).
+//
+// Writes reached only from cold code need no annotation: the gate protects
+// exactly the code that will run concurrently.
+package sharestate
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/callgraph"
+	"burstmem/internal/analysis/summary"
+)
+
+// Analyzer is the sharestate pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "sharestate",
+	Doc:        "hot-path-reachable mutable state must carry a //burstmem:chanlocal or //burstmem:shared ownership annotation",
+	RunProgram: run,
+}
+
+// Ownership directives.
+const (
+	chanlocalDirective = "//burstmem:chanlocal"
+	sharedDirective    = "//burstmem:shared"
+)
+
+// scoped are the import-path suffixes whose state the gate covers — the
+// packages the parallel-sim refactor will split across goroutines.
+var scoped = []string{
+	"internal/dram", "internal/memctrl", "internal/core",
+	"internal/sched", "internal/sim", "internal/trace",
+}
+
+func inScope(path string) bool {
+	for _, s := range scoped {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// annotKind is the ownership claim of one directive.
+type annotKind uint8
+
+const (
+	chanlocal annotKind = iota + 1
+	shared
+)
+
+// annot is one parsed ownership directive.
+type annot struct {
+	kind   annotKind
+	reason string
+	pos    token.Pos
+}
+
+// ownership indexes the annotations and declaration sites of the in-scope
+// packages, keyed by the same target strings the effect summaries use:
+// "pkgpath.Type", "pkgpath.Type.field", "pkgpath.var".
+type ownership struct {
+	ann      map[string]annot
+	decl     map[string]token.Pos
+	typeKeys map[string]bool // keys recorded from TypeSpecs
+	pkgs     map[string]bool // in-scope package paths seen in the load
+}
+
+func run(pass *analysis.ProgramPass) {
+	set := summary.Of(pass.Prog)
+	own := collect(pass)
+
+	// Validation applies to every annotation, reachable or not: a wrong
+	// claim is wrong even before anything writes through it.
+	validate(pass, own)
+
+	type reach struct {
+		key   summary.Key
+		entry *callgraph.Func
+	}
+	unannotated := map[string]reach{}
+	dynamic := map[token.Pos]*callgraph.Func{}
+	for _, fn := range set.Graph.Source {
+		if !fn.Hotpath || !inScope(fn.Pkg.PkgPath) {
+			continue
+		}
+		sum := set.Funcs[fn.ID]
+		if sum == nil {
+			continue
+		}
+		for _, eff := range sum.Sorted() {
+			switch eff.Kind {
+			case summary.GlobalWrite, summary.FieldWrite:
+				if !own.inScopeTarget(eff.Target) || own.annotated(eff.Target) {
+					continue
+				}
+				if _, seen := unannotated[eff.Target]; !seen {
+					unannotated[eff.Target] = reach{key: eff.Key, entry: fn}
+				}
+			case summary.DynamicCall:
+				if _, seen := dynamic[eff.Pos]; !seen {
+					dynamic[eff.Pos] = fn
+				}
+			}
+		}
+	}
+
+	targets := make([]string, 0, len(unannotated))
+	for t := range unannotated {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		r := unannotated[t]
+		pos, ok := own.decl[t]
+		if !ok {
+			pos = r.entry.Pos()
+		}
+		pass.Reportf(pos, "%s is written from hot-path entry %s%s but has no ownership annotation: mark it //burstmem:chanlocal or //burstmem:shared <reason>",
+			short(t), r.entry.Name, via(set, r.entry.ID, r.key))
+	}
+
+	dynPos := make([]token.Pos, 0, len(dynamic))
+	for p := range dynamic {
+		dynPos = append(dynPos, p)
+	}
+	sort.Slice(dynPos, func(i, j int) bool { return dynPos[i] < dynPos[j] })
+	for _, p := range dynPos {
+		pass.Reportf(p, "call through a function value on the hot path (reached from %s): the ownership gate cannot see what it writes; call the function directly",
+			dynamic[p].Name)
+	}
+}
+
+// via renders the inheritance chain of an effect, or "".
+func via(set *summary.Set, id callgraph.ID, k summary.Key) string {
+	path := set.Path(id, k)
+	if len(path) == 0 {
+		return ""
+	}
+	return " (via " + strings.Join(path, " -> ") + ")"
+}
+
+// short strips the directory part of a target's package path:
+// "burstmem/internal/dram.Channel.cycle" -> "dram.Channel.cycle".
+func short(target string) string {
+	if i := strings.LastIndexByte(target, '/'); i >= 0 {
+		return target[i+1:]
+	}
+	return target
+}
+
+// inScopeTarget reports whether the effect target belongs to one of the
+// gate's packages as loaded.
+func (o *ownership) inScopeTarget(target string) bool {
+	for p := range o.pkgs {
+		if strings.HasPrefix(target, p+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// annotated reports whether the target carries a directive, directly or —
+// for fields — on its type.
+func (o *ownership) annotated(target string) bool {
+	if _, ok := o.ann[target]; ok {
+		return true
+	}
+	if i := strings.LastIndexByte(target, '.'); i >= 0 {
+		if _, ok := o.ann[target[:i]]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// collect parses the ownership directives and declaration sites of every
+// in-scope package.
+func collect(pass *analysis.ProgramPass) *ownership {
+	own := &ownership{
+		ann:      map[string]annot{},
+		decl:     map[string]token.Pos{},
+		typeKeys: map[string]bool{},
+		pkgs:     map[string]bool{},
+	}
+	for _, pkg := range pass.Prog.Pkgs {
+		if !inScope(pkg.PkgPath) {
+			continue
+		}
+		own.pkgs[pkg.PkgPath] = true
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				switch gd.Tok {
+				case token.TYPE:
+					for _, spec := range gd.Specs {
+						ts := spec.(*ast.TypeSpec)
+						key := pkg.PkgPath + "." + ts.Name.Name
+						own.decl[key] = ts.Pos()
+						own.typeKeys[key] = true
+						own.add(key, gd.Doc, ts.Doc, ts.Comment)
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							for _, f := range st.Fields.List {
+								for _, name := range f.Names {
+									fkey := key + "." + name.Name
+									own.decl[fkey] = name.Pos()
+									own.add(fkey, f.Doc, f.Comment)
+								}
+							}
+						}
+					}
+				case token.VAR:
+					for _, spec := range gd.Specs {
+						vs := spec.(*ast.ValueSpec)
+						for _, name := range vs.Names {
+							key := pkg.PkgPath + "." + name.Name
+							own.decl[key] = name.Pos()
+							own.add(key, gd.Doc, vs.Doc, vs.Comment)
+						}
+					}
+				}
+			}
+		}
+	}
+	return own
+}
+
+// add parses the first ownership directive found in the comment groups.
+func (o *ownership) add(key string, groups ...*ast.CommentGroup) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			switch {
+			case c.Text == chanlocalDirective || strings.HasPrefix(c.Text, chanlocalDirective+" "):
+				o.ann[key] = annot{kind: chanlocal, pos: c.Pos()}
+				return
+			case c.Text == sharedDirective || strings.HasPrefix(c.Text, sharedDirective+" "):
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, sharedDirective))
+				o.ann[key] = annot{kind: shared, reason: reason, pos: c.Pos()}
+				return
+			}
+		}
+	}
+}
+
+// validate reports annotations whose claim cannot hold.
+func validate(pass *analysis.ProgramPass, own *ownership) {
+	keys := make([]string, 0, len(own.ann))
+	for k := range own.ann {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a := own.ann[k]
+		// Report at the annotated declaration, not the directive: the
+		// declaration is what the annotation mis-describes.
+		pos := a.pos
+		if dp, ok := own.decl[k]; ok {
+			pos = dp
+		}
+		if a.kind == shared && a.reason == "" {
+			pass.Reportf(pos, "burstmem:shared on %s requires a reason: say how cross-channel access is arbitrated", short(k))
+		}
+		if a.kind == chanlocal && own.isVar(k) {
+			pass.Reportf(pos, "package-level variable %s cannot be channel-local: every channel sees it; use //burstmem:shared <reason>", short(k))
+		}
+	}
+}
+
+// isVar reports whether the key names a package variable: declared, not
+// recorded from a TypeSpec, and not a field of a recorded type. Var and
+// type keys share a namespace ("pkg.Name"); Go forbids a var and a type of
+// the same name in one package, so the AST origin disambiguates.
+func (o *ownership) isVar(key string) bool {
+	if _, ok := o.decl[key]; !ok || o.typeKeys[key] {
+		return false
+	}
+	if i := strings.LastIndexByte(key, '.'); i >= 0 && o.typeKeys[key[:i]] {
+		return false // field of a recorded type
+	}
+	return true
+}

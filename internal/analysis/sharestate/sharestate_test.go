@@ -1,0 +1,12 @@
+package sharestate_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/sharestate"
+)
+
+func TestSharestate(t *testing.T) {
+	analysistest.Run(t, sharestate.Analyzer, "./testdata/src/internal/dram")
+}

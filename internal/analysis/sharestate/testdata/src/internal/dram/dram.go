@@ -1,0 +1,94 @@
+// Package dram is sharestate test data: its import path ends in
+// internal/dram, so the ownership gate covers its state.
+package dram
+
+// Channel is per-channel state: the type-level directive covers every
+// field.
+//
+//burstmem:chanlocal
+type Channel struct {
+	cycle uint64
+	stats Stats
+}
+
+// Stats is nested per-channel accounting, reached through Channel.
+//
+//burstmem:chanlocal
+type Stats struct {
+	hits uint64
+}
+
+// Pool arbitrates free slots across channels.
+//
+//burstmem:shared guarded by the controller, which ticks channels serially
+type Pool struct {
+	free int
+}
+
+// Bare has no annotation: writing it from the hot path is flagged at the
+// field.
+type Bare struct {
+	n int // want `dram.Bare.n is written from hot-path entry dram.Tick`
+}
+
+// Mixed demonstrates a field-level override: only hot is annotated.
+type Mixed struct {
+	//burstmem:shared lock-free counter, reconciled at drain
+	hot uint64
+	cold int // want `dram.Mixed.cold is written from hot-path entry dram.Tick`
+}
+
+// Reasonless claims shared without saying how.
+//
+//burstmem:shared
+type Reasonless struct { // want `burstmem:shared on dram.Reasonless requires a reason`
+	x int
+}
+
+// Counter is cross-channel accounting.
+//
+//burstmem:shared single writer: the controller drain loop
+var Counter uint64
+
+// Wrong claims a package variable is channel-local.
+//
+//burstmem:chanlocal
+var Wrong uint64 // want `package-level variable dram.Wrong cannot be channel-local`
+
+// Tick is the hot-path entry point.
+//
+//burstmem:hotpath
+func Tick(c *Channel, p *Pool, b *Bare, m *Mixed) {
+	c.cycle++
+	p.free--
+	b.n = 1
+	m.hot++
+	m.cold = 2
+	Counter++
+	bump(c)
+}
+
+// bump writes nested per-channel state: covered by the Stats annotation,
+// even though the write is one call below the entry.
+func bump(c *Channel) { c.stats.hits++ }
+
+// Dy calls through a function value on the hot path.
+//
+//burstmem:hotpath
+func Dy(f func() int) int {
+	return f() // want `call through a function value on the hot path \(reached from dram.Dy\)`
+}
+
+// cold writes unannotated state from outside any hot path: no annotation
+// needed.
+func cold(r *Reasonless) { r.x = 3 }
+
+// DeepDy reaches a dynamic call two frames down; reported at the call
+// itself, once.
+//
+//burstmem:hotpath
+func DeepDy(f func() int) int { return mid(f) }
+
+func mid(f func() int) int {
+	return f() // want `call through a function value on the hot path \(reached from dram.DeepDy\)`
+}

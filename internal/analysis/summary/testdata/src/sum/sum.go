@@ -1,0 +1,85 @@
+// Package sum is the summary corpus: direct and inherited effects,
+// recursion, generics, locality filtering and escapes.
+package sum
+
+import "time"
+
+// G is a written global.
+var G int
+
+// Sink receives escaping pointers.
+var Sink *S
+
+// S is the mutated struct.
+type S struct {
+	X int
+	M map[string]int
+}
+
+// WriteG writes a global directly.
+func WriteG() { G = 1 }
+
+// WriteViaHelper inherits WriteG's effect.
+func WriteViaHelper() { WriteG() }
+
+// Set writes a field through its pointer receiver.
+func (s *S) Set() { s.X = 1 }
+
+// SetMap writes the element of a field-held map: attributed to the field.
+func (s *S) SetMap(k string) { s.M[k] = 2 }
+
+// LocalOnly writes a field of a non-pointer local: not an effect.
+func LocalOnly() int {
+	var s S
+	s.X = 3
+	return s.X
+}
+
+// ValueRecv writes its by-value receiver: not an effect either.
+func (s S) ValueRecv() { s.X = 4 }
+
+// Blank stores through a pointer parameter's dereference.
+func Blank(p *S) { *p = S{} }
+
+// A and B recurse mutually; B's field write must reach A's summary.
+func A(n int, s *S) {
+	if n > 0 {
+		B(n-1, s)
+	}
+}
+
+// B closes the cycle.
+func B(n int, s *S) {
+	s.X = n
+	A(n-1, s)
+}
+
+// Iter ranges over a map inside a generic body.
+func Iter[T any](m map[string]T) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// CallsIter inherits the map-range effect through the generic origin.
+func CallsIter() int { return Iter(map[string]int{"a": 1}) }
+
+// Clock reads the wall clock.
+func Clock() int64 { return time.Now().UnixNano() }
+
+// CallsClock inherits it.
+func CallsClock() int64 { return Clock() }
+
+// Esc lets its pointer parameter escape into a global.
+func Esc(p *S) { Sink = p }
+
+// Sp spawns a goroutine and inherits the spawned function's effects.
+func Sp() { go WriteG() }
+
+// Dy calls through a function value.
+func Dy(f func()) { f() }
+
+// Deep chains three hops so path reconstruction has something to walk.
+func Deep() { WriteViaHelper() }

@@ -26,6 +26,8 @@ import (
 )
 
 // Options selects a burst scheduling variant.
+//
+//burstmem:chanlocal
 type Options struct {
 	// ReadPreemption lets newly arrived reads interrupt an ongoing write
 	// whose column transaction has not issued yet (the write restarts
@@ -135,6 +137,8 @@ func BurstTH(threshold int) memctrl.Factory {
 // after the first are guaranteed row hits. Groups are pooled on the
 // scheduler's free list, and the reads ride an intrusive list, so burst
 // formation allocates nothing in steady state.
+//
+//burstmem:chanlocal
 type burstGroup struct {
 	row     uint32
 	arrival uint64 // arrival of the first access, for inter-burst ordering
@@ -143,6 +147,8 @@ type burstGroup struct {
 
 // bankState holds one bank's burst queue and piggyback context (writes
 // live in the scheduler-wide memctrl.BankQueues).
+//
+//burstmem:chanlocal
 type bankState struct {
 	bursts []*burstGroup // FIFO by first-access arrival
 
@@ -172,6 +178,8 @@ type bankState struct {
 }
 
 // burstSched is the mechanism instance for one channel.
+//
+//burstmem:chanlocal
 type burstSched struct {
 	name   string
 	opt    Options
@@ -209,6 +217,8 @@ type burstSched struct {
 }
 
 // BurstStats counts scheduling events specific to burst scheduling.
+//
+//burstmem:chanlocal
 type BurstStats struct {
 	BurstsFormed      uint64
 	ReadsJoinedBursts uint64 // reads appended to an existing burst

@@ -85,6 +85,8 @@ func (c Config) Validate() error {
 const latencyHistSize = 2048
 
 // CtrlStats aggregates controller-level statistics across channels.
+//
+//burstmem:shared aggregated across every channel; updated only by the controller goroutine
 type CtrlStats struct {
 	ReadLatency  stats.Mean // arrival -> data returned, memory cycles
 	WriteLatency stats.Mean // arrival -> data drained, memory cycles
@@ -127,6 +129,8 @@ type completion struct {
 // time. It sifts exactly like container/heap (so event order among equal
 // times is unchanged) without the interface boxing that allocated on every
 // Push/Pop.
+//
+//burstmem:shared completion events from every channel funnel through the one heap the controller goroutine drains
 type completionHeap struct{ s []completion }
 
 func (h *completionHeap) peek() *completion { return &h.s[0] }
@@ -174,6 +178,8 @@ func (h *completionHeap) pop() completion {
 
 // Controller is the full memory controller: one Mechanism instance per
 // channel sharing a global access pool, plus statistics.
+//
+//burstmem:shared owns the cross-channel access pool, completion heap and aggregate statistics; stays on the controller goroutine in the parallel refactor
 type Controller struct {
 	cfg    Config
 	mapper addrmap.Mapper
@@ -518,6 +524,7 @@ func (c *Controller) finish(a *Access, at uint64) {
 			a.Loc.Row, a.ID, a.Start, flags)
 	}
 	if a.OnComplete != nil {
+		//lint:ignore sharestate completion callback is the public API's wakeup hook; callers own what it writes (the core updates chanlocal bank state)
 		a.OnComplete(a, at)
 	}
 }

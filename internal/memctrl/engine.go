@@ -27,6 +27,8 @@ import (
 // does, and the whole candidate/next-event machinery reduces to a few
 // version compares plus one peek of an eventq.Wheel keyed by the hints'
 // issue cycles.
+//
+//burstmem:chanlocal
 type Engine struct {
 	host    *Host
 	banks   int
@@ -73,6 +75,8 @@ type Engine struct {
 // full folds in the data-bus availability term (guarded by busVer). All
 // three are absolute cycles, so a hint with matching versions is exact
 // regardless of how much time has passed.
+//
+//burstmem:chanlocal
 type bankHint struct {
 	cmd     dram.Cmd
 	ready   uint64 // EarliestReady: bank+rank constraint bound
@@ -89,6 +93,8 @@ type bankHint struct {
 // access kind (read vs write) — the four groups the paper's Table 2
 // priority ranks. Refresh never appears: it is channel-internal and is not
 // a candidate transaction.
+//
+//burstmem:chanlocal
 type BankClasses struct {
 	ColRead  []uint64
 	ColWrite []uint64
@@ -425,6 +431,7 @@ func (e *Engine) Issue(c Candidate, now uint64) {
 	if c.IsColumn() {
 		e.host.CompleteAt(a, res.DataEnd)
 		if e.onColumn != nil {
+			//lint:ignore sharestate mechanism-supplied issue hook fixed at engine construction; each mechanism owns one channel's state
 			e.onColumn(a, now)
 		}
 		e.ClearOngoing(c.Rank, c.Bank)

@@ -118,6 +118,8 @@ type Event struct {
 // first) and folds the stream into per-interval metrics as it goes. The
 // zero Tracer is not usable; construct with New. A nil *Tracer is the
 // disabled tracer: every method is a no-op.
+//
+//burstmem:shared one tracer ring receives events from every channel; the parallel refactor will shard or funnel it through the controller goroutine
 type Tracer struct {
 	ring    []Event
 	head    int // next write slot
@@ -411,6 +413,8 @@ func (t *Tracer) Intervals() []Interval {
 }
 
 // Interval aggregates one metrics window [Start, End) of the run.
+//
+//burstmem:shared intervals belong to the tracer ring, which all channels feed
 type Interval struct {
 	Start, End uint64
 

@@ -13,6 +13,16 @@ go build ./...
 echo "== burstlint =="
 go run ./cmd/burstlint ./...
 
+echo "== interprocedural tier (call graph, effect summaries, ownership gate) =="
+# The burstlint stage above already fails if sharestate/detflow/goroutcheck
+# find anything on the tree; this stage runs the tier's own corpus tests so
+# a regression in the machinery is caught even when the tree happens to be
+# annotated around it.
+go test -count=1 \
+    ./internal/analysis/callgraph/ ./internal/analysis/summary/ \
+    ./internal/analysis/sharestate/ ./internal/analysis/detflow/ \
+    ./internal/analysis/goroutcheck/
+
 echo "== burstlint golden (CLI output/exit-code contract) =="
 go test -count=1 -run 'TestGolden|TestExitCode' ./cmd/burstlint/
 
