@@ -418,6 +418,55 @@ func BenchmarkSimThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSim measures the channel-shard worker pool: the same
+// full-machine simulation as BenchmarkSimThroughput, but on a four-channel
+// machine at worker counts 1 (serial dispatch path), 2 and 4, reporting
+// simulated memory cycles per wall-clock second for each. Every worker
+// count produces bit-identical results (the differential suite in
+// internal/sim proves it), so the only thing that varies here is wall
+// clock; scripts/bench.sh records the simcycles/s of each case plus the
+// 4-worker/serial scaling-efficiency ratio in BENCH_sim.json. On a
+// single-CPU host the ratio measures pure barrier overhead (expect < 1);
+// speedup needs real cores.
+func BenchmarkParallelSim(b *testing.B) {
+	for _, tc := range []struct{ bench, mech string }{
+		{"swim", "Burst_TH"},
+	} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/%s/workers%d", tc.bench, tc.mech, workers), func(b *testing.B) {
+				prof, err := workload.ByName(tc.bench)
+				if err != nil {
+					b.Fatal(err)
+				}
+				factory, err := sim.MechanismByName(tc.mech)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := benchConfig()
+				cfg.Mem.Geometry.Channels = 4
+				cfg.Mem.Geometry.Ranks = 2
+				cfg.Workers = workers
+				var simulated uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys, err := sim.NewSystem(cfg, prof, factory)
+					if err != nil {
+						b.Fatal(err)
+					}
+					target := cfg.WarmupInstructions + cfg.Instructions
+					for sys.MinRetired() < target {
+						sys.FastForward()
+					}
+					simulated += sys.MemCycle()
+					sys.Close()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(simulated)/b.Elapsed().Seconds(), "simcycles/s")
+			})
+		}
+	}
+}
+
 // BenchmarkControllerThroughput is a microbenchmark of the controller fast
 // path: cycles simulated per second under saturation (useful when
 // optimizing the simulator itself).

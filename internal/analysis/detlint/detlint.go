@@ -54,7 +54,7 @@ var Analyzer = &analysis.Analyzer{
 var SimPackages = []string{
 	"internal/core", "internal/memctrl", "internal/dram", "internal/sched",
 	"internal/sim", "internal/bus", "internal/cache", "internal/cpu",
-	"internal/trace",
+	"internal/trace", "internal/parsim",
 }
 
 // InSimScope reports whether the package is simulation logic.

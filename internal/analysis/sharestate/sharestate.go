@@ -68,6 +68,7 @@ const (
 var scoped = []string{
 	"internal/dram", "internal/memctrl", "internal/core",
 	"internal/sched", "internal/sim", "internal/trace",
+	"internal/parsim",
 }
 
 func inScope(path string) bool {

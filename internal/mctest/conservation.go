@@ -14,12 +14,19 @@ import (
 //   - every enqueued access completes exactly once, with matching kind,
 //     and nothing completes that was never enqueued;
 //   - pool occupancy reconstructed from the stream never exceeds the pool
-//     size, and write occupancy never exceeds the write-queue capacity;
+//     size, and write occupancy never exceeds the write-queue capacity —
+//     globally and per channel (per-channel occupancy can never go
+//     negative or exceed the global capacities either);
+//   - every access stays on the channel it was enqueued to: starts and
+//     completions carry the same channel index as the enqueue;
 //   - the controller's aggregate statistics agree with the stream, and the
 //     per-channel device statistics sum to the stream's command counts.
 //
 // The controller must be drained and its stats must cover the whole traced
-// run (no ResetStats in between).
+// run (no ResetStats in between). The oracle applies unchanged to streams
+// merged from parallel channel-shard execution (Controller.SetWorkers):
+// the merge must preserve all of the above, so a green check on a parallel
+// run certifies the merged stream, not just the serial one.
 func CheckConservation(tr *trace.Tracer, ctrl *memctrl.Controller) error {
 	if tr == nil {
 		return fmt.Errorf("conservation: no tracer attached")
@@ -33,17 +40,20 @@ func CheckConservation(tr *trace.Tracer, ctrl *memctrl.Controller) error {
 	cfg := ctrl.Config()
 
 	type lifecycle struct {
+		ch        uint8
 		write     bool
 		forwarded bool
 		completed bool
 	}
 	live := make(map[uint64]*lifecycle)
+	type chanOcc struct{ reads, writes int }
 	var (
 		lastCycle    uint64
 		lastComplete uint64
 		poolReads    int
 		poolWrites   int
 		completes    uint64
+		perChan      = make([]chanOcc, cfg.Geometry.Channels)
 	)
 	events := tr.Events()
 	for i, e := range events {
@@ -58,7 +68,11 @@ func CheckConservation(tr *trace.Tracer, ctrl *memctrl.Controller) error {
 			if _, dup := live[id]; dup {
 				return fmt.Errorf("conservation: access %d enqueued twice", id)
 			}
-			lc := &lifecycle{write: write}
+			if int(e.Chan) >= len(perChan) {
+				return fmt.Errorf("conservation: access %d enqueued on channel %d of %d",
+					id, e.Chan, len(perChan))
+			}
+			lc := &lifecycle{ch: e.Chan, write: write}
 			live[id] = lc
 			// A forwarded read (its EvForward directly follows) bypasses
 			// the pool entirely, so it never counts toward occupancy.
@@ -66,13 +80,19 @@ func CheckConservation(tr *trace.Tracer, ctrl *memctrl.Controller) error {
 				lc.forwarded = true
 			} else if write {
 				poolWrites++
+				perChan[e.Chan].writes++
 			} else {
 				poolReads++
+				perChan[e.Chan].reads++
 			}
 		case trace.EvForward:
 			lc, ok := live[e.Arg0]
 			if !ok || lc.write || !lc.forwarded {
 				return fmt.Errorf("conservation: forward of %d does not follow its enqueue", e.Arg0)
+			}
+			if e.Chan != lc.ch {
+				return fmt.Errorf("conservation: access %d forwarded on channel %d but enqueued on %d",
+					e.Arg0, e.Chan, lc.ch)
 			}
 		case trace.EvStart:
 			lc, ok := live[e.Arg0]
@@ -84,6 +104,10 @@ func CheckConservation(tr *trace.Tracer, ctrl *memctrl.Controller) error {
 			}
 			if lc.forwarded {
 				return fmt.Errorf("conservation: forwarded read %d reached the device", e.Arg0)
+			}
+			if e.Chan != lc.ch {
+				return fmt.Errorf("conservation: access %d started on channel %d but enqueued on %d",
+					e.Arg0, e.Chan, lc.ch)
 			}
 		case trace.EvComplete:
 			lc, ok := live[e.Arg0]
@@ -100,6 +124,10 @@ func CheckConservation(tr *trace.Tracer, ctrl *memctrl.Controller) error {
 			if (e.Arg2&trace.FlagForwarded != 0) != lc.forwarded {
 				return fmt.Errorf("conservation: access %d forwarding flag mismatch", e.Arg0)
 			}
+			if e.Chan != lc.ch {
+				return fmt.Errorf("conservation: access %d completed on channel %d but enqueued on %d",
+					e.Arg0, e.Chan, lc.ch)
+			}
 			if e.Cycle < lastComplete {
 				return fmt.Errorf("conservation: completion of %d at cycle %d before cycle %d",
 					e.Arg0, e.Cycle, lastComplete)
@@ -111,8 +139,10 @@ func CheckConservation(tr *trace.Tracer, ctrl *memctrl.Controller) error {
 				// Never occupied the pool.
 			case lc.write:
 				poolWrites--
+				perChan[lc.ch].writes--
 			default:
 				poolReads--
+				perChan[lc.ch].reads--
 			}
 		}
 		if poolWrites > cfg.MaxWrites {
@@ -126,6 +156,23 @@ func CheckConservation(tr *trace.Tracer, ctrl *memctrl.Controller) error {
 		if poolReads < 0 || poolWrites < 0 {
 			return fmt.Errorf("conservation: negative occupancy (r=%d w=%d) at cycle %d",
 				poolReads, poolWrites, e.Cycle)
+		}
+		for ch := range perChan {
+			co := perChan[ch]
+			if co.reads < 0 || co.writes < 0 {
+				return fmt.Errorf("conservation: negative channel %d occupancy (r=%d w=%d) at cycle %d",
+					ch, co.reads, co.writes, e.Cycle)
+			}
+			if co.writes > cfg.MaxWrites || co.reads+co.writes > cfg.PoolSize {
+				return fmt.Errorf("conservation: channel %d occupancy (r=%d w=%d) exceeds capacity at cycle %d",
+					ch, co.reads, co.writes, e.Cycle)
+			}
+		}
+	}
+	for ch := range perChan {
+		if co := perChan[ch]; co.reads != 0 || co.writes != 0 {
+			return fmt.Errorf("conservation: channel %d drained with residual occupancy (r=%d w=%d)",
+				ch, co.reads, co.writes)
 		}
 	}
 	for id, lc := range live {

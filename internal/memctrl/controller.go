@@ -210,6 +210,10 @@ type Controller struct {
 	// object is reused by a later Submit.
 	freeAccess *Access
 
+	// par is the channel-shard worker coordinator; nil on the serial path
+	// (the default). See parallel.go and SetWorkers.
+	par *parRun
+
 	Stats CtrlStats
 }
 
@@ -278,6 +282,7 @@ func (c *Controller) SetTracer(tr *trace.Tracer) {
 	c.tracer = tr
 	for i, ch := range c.channels {
 		ch.SetTracer(tr, i)
+		c.hosts[i].tr = tr
 	}
 }
 
@@ -391,9 +396,13 @@ func (c *Controller) Tick(now uint64) {
 		c.finish(done.access, done.at)
 		c.release(done.access)
 	}
-	for i, ch := range c.channels {
-		ch.Tick(now)
-		c.mechs[i].Tick(now)
+	if c.par != nil {
+		c.tickChannelsParallel(now)
+	} else {
+		for i, ch := range c.channels {
+			ch.Tick(now)
+			c.mechs[i].Tick(now)
+		}
 	}
 	c.Stats.Cycles++
 	c.Stats.OutstandingReads.Add(c.poolReads)
@@ -590,11 +599,34 @@ func (c *Controller) EffectiveBandwidth() float64 {
 }
 
 // Host is a mechanism's view of the controller: its channel plus the
-// shared-state queries and completion plumbing mechanisms need.
+// shared-state queries and completion plumbing mechanisms need. Under
+// parallel execution each Host belongs to exactly one channel shard, and
+// its emit/complete plumbing is the seam where per-shard effects are
+// buffered for the canonical post-barrier merge.
 type Host struct {
 	ctrl  *Controller
 	chIdx int
 	ch    *dram.Channel
+
+	// tr is the tracer mechanisms emit through: the controller's tracer on
+	// the serial path, this channel's capture tracer inside a parallel
+	// barrier round (tickChannelsParallel swaps it at the round edges).
+	//
+	//burstmem:shared swapped only by the controller goroutine at barrier edges; a shard reads it only inside its own round, ordered by the pool barrier
+	tr *trace.Tracer
+
+	// buffered routes CompleteAt into pending instead of the controller's
+	// completion heap while this host's shard may be running off-thread.
+	//
+	//burstmem:shared toggled only by the controller goroutine around the barrier; constant while shards run
+	buffered bool
+
+	// pending holds this shard's completion pushes during a barrier round;
+	// the controller flushes it into the heap in channel order afterwards,
+	// reproducing the serial path's exact heap push order.
+	//
+	//burstmem:chanlocal
+	pending []completion
 }
 
 // Channel returns the host channel device.
@@ -606,9 +638,11 @@ func (h *Host) ChannelIndex() int { return h.chIdx }
 // Config returns the controller configuration.
 func (h *Host) Config() Config { return h.ctrl.cfg }
 
-// Tracer returns the controller's attached tracer (nil when tracing is
-// off). The nil tracer is safe to emit on, so mechanisms never check.
-func (h *Host) Tracer() *trace.Tracer { return h.ctrl.tracer }
+// Tracer returns the tracer this host currently emits through (nil when
+// tracing is off): the controller's tracer, or — inside a parallel barrier
+// round — this channel's capture tracer. The nil tracer is safe to emit
+// on, so mechanisms never check.
+func (h *Host) Tracer() *trace.Tracer { return h.tr }
 
 // GlobalWrites returns the controller-wide pending write count, the
 // occupancy the paper's threshold compares against.
@@ -639,7 +673,7 @@ func (h *Host) StartAccess(a *Access, now uint64) {
 	a.Start = now
 	a.Outcome = h.ch.Classify(a.Target())
 	h.ch.RecordOutcome(a.Outcome)
-	h.ctrl.tracer.Start(now, h.chIdx, int(a.Loc.Rank), int(a.Loc.Bank), a.Loc.Row,
+	h.tr.Start(now, h.chIdx, int(a.Loc.Rank), int(a.Loc.Bank), a.Loc.Row,
 		a.ID, int(a.Outcome), a.Kind == KindWrite)
 }
 
@@ -650,5 +684,14 @@ func (h *Host) StartAccess(a *Access, now uint64) {
 func (h *Host) CompleteAt(a *Access, dataEnd uint64) {
 	a.san.checkLive(a, "CompleteAt")
 	a.DataEnd = dataEnd
+	if h.buffered {
+		// Parallel barrier round: defer the heap push. The controller
+		// flushes pending in channel order after the barrier, so the heap
+		// sees pushes in the exact order the serial loop would produce
+		// (the heap's equal-time tie-break depends on push order).
+		//lint:ignore hotalloc per-shard completion buffer; capacity is retained across cycles and bounded by in-flight accesses
+		h.pending = append(h.pending, completion{at: dataEnd, access: a})
+		return
+	}
 	h.ctrl.completions.push(completion{at: dataEnd, access: a})
 }

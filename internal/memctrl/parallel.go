@@ -1,0 +1,131 @@
+package memctrl
+
+// Deterministic parallel channel execution. One memory-controller Tick has
+// four phases:
+//
+//	A. drain due completions (fires OnComplete callbacks into the CPU/cache
+//	   domain) — controller goroutine;
+//	B. per-channel device + mechanism tick — independent across channels
+//	   (all state reached here is //burstmem:chanlocal per the sharestate
+//	   gate), so it runs on the parsim worker pool, one shard per channel,
+//	   inside one barrier round per memory cycle;
+//	C. canonical merge — per-shard completion buffers flush into the shared
+//	   heap and per-shard trace captures replay into the main tracer, both
+//	   in ascending channel order, reproducing the serial loop's exact heap
+//	   push order and trace stream;
+//	D. per-cycle statistics sampling — controller goroutine.
+//
+// Everything a shard reads besides its own channel state (pool occupancy
+// counters, configuration) is constant during phase B: submissions arrive
+// only via FSB.Tick after Controller.Tick returns, and completions mutate
+// the pool only in phase A. The pool barrier orders phase A writes before
+// shard reads and shard writes before the phase C merge, so the parallel
+// path is free of data races and produces bit-identical output — which the
+// differential test tier in internal/sim asserts, byte for byte.
+
+import (
+	"burstmem/internal/parsim"
+	"burstmem/internal/trace"
+)
+
+// parRun is the controller's channel-shard coordinator, present only while
+// a worker pool is attached (SetWorkers >= 2 with >= 2 channels).
+//
+//burstmem:shared coordinator state: written only by the controller goroutine between barrier rounds; shards read now/caps inside a round, ordered by the pool's generation barrier
+type parRun struct {
+	pool *parsim.Pool
+	// now is the cycle of the in-flight barrier round, published to shards
+	// by Pool.Run's generation release.
+	now uint64
+	// caps are the per-channel capture tracers shards emit into while the
+	// main tracer is attached; replayed and cleared in phase C.
+	caps []*trace.Tracer
+}
+
+// SetWorkers attaches (n >= 2) or detaches (n <= 1) a parallel worker pool
+// for channel execution. n is clamped to the channel count; with fewer than
+// two channels or workers the controller stays on the serial path. Calling
+// it again replaces the pool (workers of the old pool are released), so
+// worker count may change between any two Ticks — output is bit-identical
+// for every setting, including mid-run changes. Not safe to call from
+// inside a Tick.
+func (c *Controller) SetWorkers(n int) {
+	if c.par != nil {
+		c.par.pool.Close()
+		c.par = nil
+	}
+	if n <= 1 || len(c.channels) <= 1 {
+		return
+	}
+	caps := make([]*trace.Tracer, len(c.channels))
+	for i := range caps {
+		caps[i] = trace.NewCapture()
+	}
+	c.par = &parRun{
+		pool: parsim.New(n, len(c.channels), c.tickShard),
+		caps: caps,
+	}
+}
+
+// Workers returns the effective parallel worker count (1 on the serial
+// path).
+func (c *Controller) Workers() int {
+	if c.par == nil {
+		return 1
+	}
+	return c.par.pool.Workers()
+}
+
+// tickShard advances one channel's device model and mechanism for the
+// cycle published in par.now — the parallel twin of the serial loop body
+// in Tick. It runs on a pool worker; everything it reaches is either
+// channel-local or read-only for the duration of the barrier round.
+//
+//burstmem:hotpath
+func (c *Controller) tickShard(i int) {
+	now := c.par.now
+	c.channels[i].Tick(now)
+	c.mechs[i].Tick(now)
+}
+
+// tickChannelsParallel runs phase B on the worker pool and then merges the
+// per-shard effects in canonical channel order (phase C).
+//
+//burstmem:hotpath
+func (c *Controller) tickChannelsParallel(now uint64) {
+	p := c.par
+	traced := c.tracer != nil
+	if traced {
+		// Route shard-side emits (device commands, access starts,
+		// scheduling marks) into per-channel captures for the round.
+		for i, h := range c.hosts {
+			h.tr = p.caps[i]
+			c.channels[i].SetTracer(p.caps[i], i)
+		}
+	}
+	for _, h := range c.hosts {
+		h.buffered = true
+	}
+	p.now = now
+	p.pool.Run()
+	for _, h := range c.hosts {
+		h.buffered = false
+	}
+	if traced {
+		for i, h := range c.hosts {
+			h.tr = c.tracer
+			c.channels[i].SetTracer(c.tracer, i)
+		}
+	}
+	// Canonical merge in ascending channel order — exactly the order the
+	// serial loop produces trace events and heap pushes in.
+	for i, h := range c.hosts {
+		if traced {
+			c.tracer.Adopt(p.caps[i])
+		}
+		for _, pc := range h.pending {
+			c.completions.push(pc)
+		}
+		h.pending = h.pending[:0]
+	}
+}

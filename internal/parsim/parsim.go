@@ -1,0 +1,217 @@
+// Package parsim is the bounded worker pool behind deterministic parallel
+// simulation: a fixed set of shards (one per memory channel) is statically
+// partitioned across a fixed set of workers, and Run executes one barrier
+// round — every shard's function runs exactly once, and Run returns only
+// after all of them finished.
+//
+// The pool is built for a caller that invokes Run once per simulated memory
+// cycle, millions of times per second, so the barrier is a generation
+// counter handshake over atomics rather than channels or sync.WaitGroup:
+//
+//   - Run publishes a new generation (one atomic add), wakes any parked
+//     worker, executes the calling goroutine's own shard span inline, and
+//     then spin-waits (with runtime.Gosched) until every worker has stamped
+//     the generation as done.
+//   - Workers spin on the generation counter for a bounded number of
+//     yields; if no round arrives they park on a buffered wake channel.
+//     The park/wake handshake is a compare-and-swap on the worker's parked
+//     flag, so a wake token is sent if and only if the worker committed to
+//     parking — no token is ever lost or left behind.
+//
+// Memory ordering: everything the caller wrote before Run is visible to the
+// workers (the generation add is the release, the worker's generation load
+// the acquire), and everything a worker wrote during its shards is visible
+// to the caller when Run returns (the worker's done store is the release,
+// Run's done load the acquire). Callers therefore need no locks around
+// shard state — ownership alternates between the caller (between rounds)
+// and exactly one worker (inside a round), which is what the sharestate
+// gate's chanlocal annotations assert.
+//
+// Determinism: the pool adds none of its own. Shard functions run in
+// nondeterministic order across workers, so bit-identical simulation
+// requires (and the sim packages enforce) that shards touch only
+// channel-local state and that cross-shard effects are buffered and merged
+// in canonical shard order by the caller after Run returns.
+package parsim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinBudget is how many scheduler yields a worker spends polling for the
+// next round before parking. Rounds arrive back-to-back while the simulator
+// is hot (one per memory cycle), so the budget only matters on the way into
+// idle stretches — small enough to release the CPU quickly, large enough
+// that consecutive cycles never pay the park/wake round trip.
+const spinBudget = 256
+
+// closedGen is the generation value that tells workers to exit.
+const closedGen = ^uint64(0)
+
+// Pool runs a fixed shard set across a fixed worker set, one barrier round
+// per Run call. Construct with New; a Pool must not be copied.
+//
+//burstmem:shared barrier coordinator: the generation counter and per-worker done/parked slots are the synchronization protocol itself, accessed only through sync/atomic
+type Pool struct {
+	workers int // total workers, including the calling goroutine
+	shards  int
+	fn      func(shard int)
+
+	gen     atomic.Uint64 // current round; closedGen after Close
+	slots   []workerSlot  // workers 1..workers-1 (worker 0 is the caller)
+	closed  bool
+	started bool
+}
+
+// workerSlot is one spawned worker's synchronization state, padded so the
+// done stamps the caller spins on do not false-share one cache line.
+type workerSlot struct {
+	done   atomic.Uint64 // last generation this worker completed
+	parked atomic.Bool   // set by the worker just before blocking on wake
+	wake   chan struct{} // buffered(1); one token per committed park
+	_      [104]byte     // pad to two cache lines
+}
+
+// New builds a pool of `workers` goroutines (including the caller) over
+// `shards` shards, running fn(shard) for every shard on each Run. workers
+// is clamped to [1, shards]; with one worker Run degenerates to an inline
+// loop and nothing is spawned. fn must not call Run or Close.
+func New(workers, shards int, fn func(shard int)) *Pool {
+	if shards < 1 {
+		panic("parsim: shards must be positive")
+	}
+	if fn == nil {
+		panic("parsim: nil shard function")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	p := &Pool{workers: workers, shards: shards, fn: fn}
+	if workers > 1 {
+		p.slots = make([]workerSlot, workers-1)
+		for i := range p.slots {
+			p.slots[i].wake = make(chan struct{}, 1)
+		}
+		for w := 1; w < workers; w++ {
+			lo, hi := p.span(w)
+			//detlint:allow goroutine channel-shard worker: runs only between Run's generation publish and done-stamp wait, over state the sharestate gate proves channel-local
+			go runWorker(p, &p.slots[w-1], lo, hi)
+		}
+	}
+	p.started = true
+	return p
+}
+
+// Workers returns the pool's worker count (>= 1, including the caller).
+func (p *Pool) Workers() int { return p.workers }
+
+// span returns worker w's half-open shard range [lo, hi). The static
+// partition keeps shard-to-worker assignment deterministic (it never
+// affects results — it only decides which OS thread runs which channel).
+func (p *Pool) span(w int) (lo, hi int) {
+	return w * p.shards / p.workers, (w + 1) * p.shards / p.workers
+}
+
+// Run executes one barrier round: fn(shard) runs exactly once for every
+// shard, and Run returns only after all shards completed. The calling
+// goroutine works through worker 0's span itself. Run must not be called
+// concurrently with itself or after Close.
+//
+//burstmem:hotpath
+func (p *Pool) Run() {
+	if p.closed {
+		panic("parsim: Run after Close")
+	}
+	g := p.gen.Add(1)
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.parked.Swap(false) {
+			s.wake <- struct{}{}
+		}
+	}
+	lo, hi := p.span(0)
+	for sh := lo; sh < hi; sh++ {
+		//lint:ignore sharestate shard dispatch: the barrier round orders every shard's writes before Run returns; shard bodies are themselves hotpath-annotated and gated
+		p.fn(sh)
+	}
+	for i := range p.slots {
+		s := &p.slots[i]
+		for s.done.Load() != g {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close terminates the workers and makes further Run calls panic. It is
+// idempotent. Shard state is quiescent once Close returns: every worker has
+// observed the shutdown generation and stopped.
+func (p *Pool) Close() {
+	if p.closed || !p.started {
+		return
+	}
+	p.closed = true
+	p.gen.Store(closedGen)
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.parked.Swap(false) {
+			s.wake <- struct{}{}
+		}
+	}
+	for i := range p.slots {
+		s := &p.slots[i]
+		for s.done.Load() != closedGen {
+			runtime.Gosched()
+		}
+	}
+}
+
+// runWorker is one spawned worker's loop: wait for a generation, run the
+// shard span, stamp the generation done.
+func runWorker(p *Pool, s *workerSlot, lo, hi int) {
+	last := uint64(0)
+	for {
+		g := waitGen(p, s, last)
+		if g == closedGen {
+			s.done.Store(closedGen)
+			return
+		}
+		for sh := lo; sh < hi; sh++ {
+			//lint:ignore sharestate shard dispatch on a worker: the pool's done-stamp release publishes every shard write back to the caller
+			p.fn(sh)
+		}
+		s.done.Store(g)
+		last = g
+	}
+}
+
+// waitGen blocks until the published generation moves past last and returns
+// it. The park path is a CAS handshake against Run's parked.Swap: whichever
+// side wins the exchange owns the wake token, so a worker that raced with a
+// publish either proceeds directly (CAS won: the publisher saw parked
+// already false and sent nothing) or consumes the token in flight (CAS
+// lost: the publisher committed to sending one).
+func waitGen(p *Pool, s *workerSlot, last uint64) uint64 {
+	for spins := 0; ; {
+		if g := p.gen.Load(); g != last {
+			return g
+		}
+		spins++
+		if spins < spinBudget {
+			runtime.Gosched()
+			continue
+		}
+		s.parked.Store(true)
+		if g := p.gen.Load(); g != last {
+			if !s.parked.CompareAndSwap(true, false) {
+				<-s.wake
+			}
+			return g
+		}
+		<-s.wake
+		spins = 0
+	}
+}

@@ -1,0 +1,141 @@
+package parsim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryShardOnce: each barrier round must run every shard
+// exactly once, whatever the worker count / shard count ratio.
+func TestRunCoversEveryShardOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, shards int }{
+		{1, 1}, {1, 4}, {2, 2}, {2, 5}, {3, 4}, {4, 4}, {8, 3}, {4, 16},
+	} {
+		var hits []atomic.Uint64
+		hits = make([]atomic.Uint64, tc.shards)
+		p := New(tc.workers, tc.shards, func(sh int) { hits[sh].Add(1) })
+		const rounds = 200
+		for r := 0; r < rounds; r++ {
+			p.Run()
+			for sh := range hits {
+				if got := hits[sh].Load(); got != uint64(r+1) {
+					t.Fatalf("workers=%d shards=%d: shard %d ran %d times after %d rounds",
+						tc.workers, tc.shards, sh, got, r+1)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestSpanPartition: the static partition must cover [0, shards) exactly,
+// with no gaps, overlaps, or out-of-range spans.
+func TestSpanPartition(t *testing.T) {
+	for workers := 1; workers <= 9; workers++ {
+		for shards := workers; shards <= 24; shards++ {
+			p := &Pool{workers: workers, shards: shards}
+			prev := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := p.span(w)
+				if lo != prev {
+					t.Fatalf("w=%d/%d shards=%d: span starts at %d, want %d", w, workers, shards, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("w=%d/%d shards=%d: inverted span [%d,%d)", w, workers, shards, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != shards {
+				t.Fatalf("workers=%d shards=%d: partition covers [0,%d), want [0,%d)", workers, shards, prev, shards)
+			}
+		}
+	}
+}
+
+// TestWorkersClamped: worker count clamps to [1, shards].
+func TestWorkersClamped(t *testing.T) {
+	p := New(16, 3, func(int) {})
+	defer p.Close()
+	if got := p.Workers(); got != 3 {
+		t.Fatalf("16 workers over 3 shards: got %d workers, want 3", got)
+	}
+	q := New(0, 3, func(int) {})
+	defer q.Close()
+	if got := q.Workers(); got != 1 {
+		t.Fatalf("0 workers: got %d, want 1", got)
+	}
+}
+
+// TestBarrierPublishesWrites: plain (non-atomic) writes made by the caller
+// before Run must be visible to shard bodies, and shard writes must be
+// visible to the caller after Run — the pool's documented happens-before
+// contract. The race detector (ci.sh runs this package under -race)
+// verifies the ordering claim; the assertions verify the values.
+func TestBarrierPublishesWrites(t *testing.T) {
+	const shards = 4
+	in := make([]uint64, shards)
+	out := make([]uint64, shards)
+	p := New(4, shards, func(sh int) { out[sh] = in[sh] * 3 })
+	defer p.Close()
+	for r := uint64(1); r <= 500; r++ {
+		for sh := range in {
+			in[sh] = r + uint64(sh)
+		}
+		p.Run()
+		for sh := range out {
+			if want := (r + uint64(sh)) * 3; out[sh] != want {
+				t.Fatalf("round %d shard %d: out=%d want %d (stale read through the barrier)", r, sh, out[sh], want)
+			}
+		}
+	}
+}
+
+// TestParkAndRewake: workers that parked during an idle stretch must pick
+// up later rounds. Gosched pressure forces the park path even on one CPU.
+func TestParkAndRewake(t *testing.T) {
+	var calls atomic.Uint64
+	p := New(2, 2, func(int) { calls.Add(1) })
+	defer p.Close()
+	p.Run()
+	// Idle long enough for the worker to exhaust its spin budget and park.
+	for i := 0; i < spinBudget*4; i++ {
+		runtime.Gosched()
+	}
+	p.Run()
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("2 rounds x 2 shards: %d calls, want 4", got)
+	}
+}
+
+// TestCloseIdempotentAndRunPanics: Close twice is fine; Run after Close
+// must panic rather than hang.
+func TestCloseIdempotentAndRunPanics(t *testing.T) {
+	p := New(2, 2, func(int) {})
+	p.Run()
+	p.Close()
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	p.Run()
+}
+
+// TestManyPoolsStress: rapid create/run/close cycles (the metamorphic
+// equivalence test re-arms the pool mid-run) must not leak or deadlock.
+func TestManyPoolsStress(t *testing.T) {
+	var total atomic.Uint64
+	for i := 0; i < 100; i++ {
+		workers := 1 + i%4
+		p := New(workers, 4, func(int) { total.Add(1) })
+		for r := 0; r < 10; r++ {
+			p.Run()
+		}
+		p.Close()
+	}
+	if got := total.Load(); got != 100*10*4 {
+		t.Fatalf("stress total %d, want %d", got, 100*10*4)
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"burstmem/internal/addrmap"
+	"burstmem/internal/mctest"
+	"burstmem/internal/memctrl"
+	"burstmem/internal/trace"
+	"burstmem/internal/xrand"
+)
+
+// completionRec is one OnComplete callback observation: the order, identity
+// and timing of callbacks is part of the parallel path's bit-identical
+// contract (the CPU/cache domain wakes up on them).
+type completionRec struct {
+	id    uint64
+	cycle uint64
+}
+
+// fuzzBarrierRun drives one controller — serial for workers <= 1 — through
+// a deterministic randomized schedule of submission bursts and
+// horizon-computed skip windows, then drains it. It returns the OnComplete
+// sequence, the tracer, and the controller for stats/conservation checks.
+func fuzzBarrierRun(t *testing.T, workers, channels int, seed uint64, subs int, skipMask uint8) ([]completionRec, *trace.Tracer, *memctrl.Controller) {
+	t.Helper()
+	factory, err := MechanismByName("Burst_TH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := memctrl.DefaultConfig()
+	cfg.Geometry = addrmap.Geometry{
+		Channels: channels, Ranks: 2, Banks: 4, Rows: 64, ColumnLines: 32, LineBytes: 64,
+	}
+	cfg.PoolSize = 32
+	cfg.MaxWrites = 8
+	ctrl, err := memctrl.New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetWorkers(workers)
+	defer ctrl.SetWorkers(0)
+	tr := trace.New(1<<18, 64)
+	ctrl.SetTracer(tr)
+
+	var recs []completionRec
+	onComplete := func(a *memctrl.Access, at uint64) {
+		recs = append(recs, completionRec{id: a.ID, cycle: at})
+	}
+
+	rng := xrand.New(seed)
+	cyc := uint64(0)
+	ctrl.Tick(cyc)
+	for submitted := 0; submitted < subs; {
+		cyc++
+		ctrl.Tick(cyc)
+		for b := rng.Intn(4); b > 0; b-- {
+			kind := memctrl.KindRead
+			if rng.Intn(3) == 0 {
+				kind = memctrl.KindWrite
+			}
+			if !ctrl.CanAccept(kind) {
+				continue
+			}
+			addr := uint64(rng.Intn(1<<13)) * 64
+			if _, ok := ctrl.Submit(kind, addr, onComplete); ok {
+				submitted++
+			}
+		}
+		// Fuzz-selected cycles take a skip window: jump to one cycle
+		// before the controller's own event horizon, exactly as the skip
+		// engine does. An off-by-one in the horizon under parallelism
+		// shows up as a divergent stream here.
+		if skipMask>>(cyc%8)&1 == 1 {
+			if next := ctrl.NextEventCycle(cyc); next > cyc+1 && next != memctrl.NoEvent {
+				k := next - 1 - cyc
+				ctrl.AccountSkipped(k)
+				cyc += k
+			}
+		}
+	}
+	for i := 0; !ctrl.Drained(); i++ {
+		if i > 200_000 {
+			t.Fatalf("workers=%d: controller not drained after 200k cycles", workers)
+		}
+		cyc++
+		ctrl.Tick(cyc)
+	}
+	return recs, tr, ctrl
+}
+
+// FuzzParallelBarrier differentially fuzzes the barrier coordinator against
+// the serial reference: randomized channel counts, worker counts,
+// completion burst shapes and skip-window placement must never change the
+// OnComplete sequence, the trace stream, the interval metrics, or the
+// aggregate statistics — and the parallel stream must independently satisfy
+// the conservation oracle.
+func FuzzParallelBarrier(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(2), uint16(300), uint8(0x5a))
+	f.Add(uint64(7), uint8(2), uint8(4), uint16(800), uint8(0xff))
+	f.Add(uint64(42), uint8(0), uint8(3), uint16(120), uint8(0x00))
+	f.Add(uint64(0xdead), uint8(2), uint8(2), uint16(1500), uint8(0x11))
+	f.Fuzz(func(t *testing.T, seed uint64, chExp, workers uint8, subs uint16, skipMask uint8) {
+		channels := 1 << (chExp % 3) // 1, 2 or 4 channels
+		w := int(workers%4) + 1      // 1..4 workers
+		n := 50 + int(subs%1200)
+
+		refRecs, refTr, refCtrl := fuzzBarrierRun(t, 0, channels, seed, n, skipMask)
+		gotRecs, gotTr, gotCtrl := fuzzBarrierRun(t, w, channels, seed, n, skipMask)
+
+		if len(refRecs) != len(gotRecs) {
+			t.Fatalf("completion counts differ: serial %d vs workers=%d %d", len(refRecs), w, len(gotRecs))
+		}
+		for i := range refRecs {
+			if refRecs[i] != gotRecs[i] {
+				t.Fatalf("completion %d differs: serial %+v vs workers=%d %+v", i, refRecs[i], w, gotRecs[i])
+			}
+		}
+		re, ge := refTr.Events(), gotTr.Events()
+		if len(re) != len(ge) {
+			t.Fatalf("event counts differ: serial %d vs workers=%d %d", len(re), w, len(ge))
+		}
+		for i := range re {
+			if re[i] != ge[i] {
+				t.Fatalf("event %d differs:\nserial   %+v\nparallel %+v", i, re[i], ge[i])
+			}
+		}
+		ri, gi := refTr.Intervals(), gotTr.Intervals()
+		if len(ri) != len(gi) {
+			t.Fatalf("interval counts differ: serial %d vs workers=%d %d", len(ri), w, len(gi))
+		}
+		for i := range ri {
+			if ri[i] != gi[i] {
+				t.Fatalf("interval %d differs:\nserial   %+v\nparallel %+v", i, ri[i], gi[i])
+			}
+		}
+		rs, gs := refCtrl.Stats, gotCtrl.Stats
+		if rs.Cycles != gs.Cycles || rs.WriteSatCycles != gs.WriteSatCycles ||
+			rs.PoolFullCycles != gs.PoolFullCycles || rs.ForwardedReads != gs.ForwardedReads ||
+			rs.AcceptedReads != gs.AcceptedReads || rs.AcceptedWrites != gs.AcceptedWrites ||
+			rs.RejectedRequests != gs.RejectedRequests || rs.BytesTransferred != gs.BytesTransferred ||
+			rs.ReadLatency != gs.ReadLatency || rs.WriteLatency != gs.WriteLatency {
+			t.Fatalf("aggregate stats differ:\nserial   %+v\nparallel %+v", rs, gs)
+		}
+		if err := mctest.CheckConservation(gotTr, gotCtrl); err != nil {
+			t.Fatalf("parallel stream fails conservation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"burstmem/internal/trace"
+	"burstmem/internal/workload"
+)
+
+// diffConfig is the differential-suite machine: small enough that the full
+// mechanism x workload x workers matrix stays fast, large enough that every
+// mechanism schedules real bursts, preemptions, forwards and refreshes
+// inside the window.
+func diffConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 3_000
+	cfg.Instructions = 10_000
+	return cfg
+}
+
+// diffWorkerCounts is the sweep the differential suite runs against the
+// serial reference: the issue's 1/2/4/NumCPU ladder, deduplicated.
+func diffWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	n := runtime.NumCPU()
+	for _, c := range counts {
+		if c == n {
+			return counts
+		}
+	}
+	return append(counts, n)
+}
+
+// runTraced runs one full warmup+measurement simulation with a tracer and
+// interval metrics attached, returning both the Result and the tracer.
+func runTraced(t *testing.T, cfg Config, bench, mech string, workers int) (Result, *trace.Tracer) {
+	t.Helper()
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := MechanismByName(mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	sys, err := NewSystem(cfg, prof, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(1<<19, 256)
+	sys.AttachTracer(tr)
+	res, err := runSystem(cfg, sys, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tr
+}
+
+// requireIdentical asserts two runs are byte-identical: the full Result
+// (stats, histograms, power, substructure counters), the complete trace
+// event stream, and the interval metrics time series.
+func requireIdentical(t *testing.T, label string, refRes, gotRes Result, refTr, gotTr *trace.Tracer) {
+	t.Helper()
+	if !reflect.DeepEqual(refRes, gotRes) {
+		t.Errorf("%s: Result diverged from serial reference:\nserial:   %+v\nparallel: %+v", label, refRes, gotRes)
+	}
+	re, ge := refTr.Events(), gotTr.Events()
+	if len(re) != len(ge) {
+		t.Fatalf("%s: event counts differ: serial %d vs parallel %d", label, len(re), len(ge))
+	}
+	for i := range re {
+		if re[i] != ge[i] {
+			t.Fatalf("%s: event %d differs:\nserial   %+v\nparallel %+v", label, i, re[i], ge[i])
+		}
+	}
+	for k := trace.Kind(0); k < trace.EvSchedPick+1; k++ {
+		if refTr.Count(k) != gotTr.Count(k) {
+			t.Errorf("%s: lifetime count of %v differs: serial %d vs parallel %d",
+				label, k, refTr.Count(k), gotTr.Count(k))
+		}
+	}
+	ri, gi := refTr.Intervals(), gotTr.Intervals()
+	if len(ri) != len(gi) {
+		t.Fatalf("%s: interval counts differ: serial %d vs parallel %d", label, len(ri), len(gi))
+	}
+	for i := range ri {
+		if ri[i] != gi[i] {
+			t.Fatalf("%s: interval %d differs:\nserial   %+v\nparallel %+v", label, i, ri[i], gi[i])
+		}
+	}
+}
+
+// TestParallelEquivalence is the headline differential suite: every one of
+// the eleven mechanisms, across SPEC trace workloads, at workers
+// 1/2/4/NumCPU, must produce output byte-identical to the serial engine —
+// the full Result (latency histograms included), the complete trace event
+// stream, and the interval metrics. Any scheduling divergence, heap
+// tie-break reorder, or trace merge slip fails here.
+func TestParallelEquivalence(t *testing.T) {
+	workloads := []string{"swim", "mcf"}
+	if testing.Short() {
+		workloads = workloads[:1]
+	}
+	for _, bench := range workloads {
+		for _, mech := range conservationMechanisms() {
+			bench, mech := bench, mech
+			t.Run(bench+"/"+mech, func(t *testing.T) {
+				cfg := diffConfig()
+				refRes, refTr := runTraced(t, cfg, bench, mech, 0)
+				for _, w := range diffWorkerCounts() {
+					gotRes, gotTr := runTraced(t, cfg, bench, mech, w)
+					requireIdentical(t, mech+"/workers="+itoa(w), refRes, gotRes, refTr, gotTr)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEquivalenceFourChannels exercises more shards than the
+// default two-channel geometry allows: a 4-channel machine at 2, 3 and 4
+// workers (3 gives an uneven static partition) against serial.
+func TestParallelEquivalenceFourChannels(t *testing.T) {
+	cfg := diffConfig()
+	cfg.Mem.Geometry.Channels = 4
+	cfg.Mem.Geometry.Ranks = 2 // keep total capacity; spread it over channels
+	for _, tc := range []struct{ bench, mech string }{
+		{"swim", "Burst_TH"},
+		{"mcf", "Intel_RP"},
+	} {
+		tc := tc
+		t.Run(tc.bench+"/"+tc.mech, func(t *testing.T) {
+			refRes, refTr := runTraced(t, cfg, tc.bench, tc.mech, 0)
+			for _, w := range []int{2, 3, 4} {
+				gotRes, gotTr := runTraced(t, cfg, tc.bench, tc.mech, w)
+				requireIdentical(t, tc.mech+"/4ch/workers="+itoa(w), refRes, gotRes, refTr, gotTr)
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceMetamorphic permutes the worker count mid-run —
+// at skip-window boundaries, i.e. between full memory cycles — cycling
+// serial/2/4/3 every few hundred steps, and still demands byte-identical
+// output. Worker count is an execution detail, never a model input; this
+// is the metamorphic relation that pins it.
+func TestParallelEquivalenceMetamorphic(t *testing.T) {
+	const bench, mech = "swim", "Burst_TH"
+	cfg := diffConfig()
+	cfg.Mem.Geometry.Channels = 4
+	cfg.Mem.Geometry.Ranks = 2
+	refRes, refTr := runTraced(t, cfg, bench, mech, 0)
+
+	perm := []int{2, 0, 4, 3, 1}
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := MechanismByName(mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(cfg, prof, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	tr := trace.New(1<<19, 256)
+	sys.AttachTracer(tr)
+
+	// The runSystem protocol, with a worker-count switch spliced in after
+	// TrySkip — always at a skip-window boundary, never inside a cycle.
+	maxCycles := (cfg.WarmupInstructions+cfg.Instructions)*40 + 1_000_000
+	target := cfg.WarmupInstructions + cfg.Instructions
+	warmed := false
+	steps, pi := 0, 0
+	for sys.MinRetired() < target {
+		if sys.MemCycle() >= maxCycles {
+			t.Fatalf("metamorphic run exceeded %d cycles", maxCycles)
+		}
+		if !warmed && sys.MinRetired() >= cfg.WarmupInstructions {
+			sys.ResetStats()
+			target = sys.MinRetired() + cfg.Instructions
+			warmed = true
+		}
+		sys.StepMemCycle()
+		if r := sys.MinRetired(); r < target && (warmed || r < cfg.WarmupInstructions) {
+			sys.TrySkip()
+		}
+		steps++
+		if steps%257 == 0 {
+			sys.SetWorkers(perm[pi%len(perm)])
+			pi++
+		}
+	}
+	if pi < 3 {
+		t.Fatalf("only %d worker-count switches happened; the metamorphic run is vacuous", pi)
+	}
+	gotRes := sys.Collect(bench)
+	requireIdentical(t, "metamorphic", refRes, gotRes, refTr, tr)
+}
+
+// itoa avoids pulling strconv into the test just for labels.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

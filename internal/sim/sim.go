@@ -48,6 +48,14 @@ type Config struct {
 	// measures that. 0 or 1 means a single core.
 	Cores int
 
+	// Workers shards memory-channel execution across a bounded worker
+	// pool, one shard per channel, with a barrier per memory cycle
+	// (internal/parsim via memctrl.Controller.SetWorkers). 0 or 1 keeps
+	// the serial path; higher values clamp to the channel count. Output
+	// is bit-identical for every setting — the parallel differential
+	// suite (parsim_test.go) asserts it byte for byte.
+	Workers int
+
 	// WarmupInstructions run before the measurement window opens (caches
 	// fill, writeback traffic reaches steady state); statistics are then
 	// reset and Instructions more are measured.
@@ -95,6 +103,9 @@ func (c Config) Validate() error {
 	}
 	if c.Cores < 0 || c.Cores > 64 {
 		return fmt.Errorf("sim: cores %d out of [0, 64]", c.Cores)
+	}
+	if c.Workers < 0 || c.Workers > 1024 {
+		return fmt.Errorf("sim: workers %d out of [0, 1024]", c.Workers)
 	}
 	if c.Instructions == 0 {
 		return fmt.Errorf("sim: zero instruction target")
@@ -261,8 +272,24 @@ func newSystem(cfg Config, gens []workload.Generator, factory memctrl.Factory) (
 	}
 	sys.CPU = sys.CPUs[0]
 	sys.L1D = sys.L1Ds[0]
+	sys.SetWorkers(cfg.Workers)
 	return sys, nil
 }
+
+// SetWorkers attaches (n >= 2) or detaches (n <= 1) the parallel channel
+// worker pool. Safe to call between any two memory cycles — including at
+// skip-window boundaries mid-run — without perturbing results; the
+// metamorphic equivalence test flips it mid-measurement and still demands
+// byte-identical output.
+func (s *System) SetWorkers(n int) { s.Ctrl.SetWorkers(n) }
+
+// Workers returns the effective parallel worker count (1 when serial).
+func (s *System) Workers() int { return s.Ctrl.Workers() }
+
+// Close releases the parallel worker pool, if any. The system stays usable
+// afterwards on the serial path (and SetWorkers can re-arm it). Run,
+// RunGenerator and RunSystem close the system when they return.
+func (s *System) Close() { s.Ctrl.SetWorkers(0) }
 
 // StepMemCycle advances the machine one memory cycle.
 func (s *System) StepMemCycle() {
@@ -375,8 +402,9 @@ func RunSystem(cfg Config, sys *System, name string) (Result, error) {
 }
 
 // runSystem drives an assembled machine through warmup and the measurement
-// window.
+// window, releasing any parallel worker pool when it returns.
 func runSystem(cfg Config, sys *System, name string) (Result, error) {
+	defer sys.Close()
 	maxCycles := cfg.MaxMemCycles
 	if maxCycles == 0 {
 		cores := uint64(1)

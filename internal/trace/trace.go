@@ -132,6 +132,13 @@ type Tracer struct {
 	intervals []Interval
 
 	counts [numKinds]uint64
+
+	// Capture mode (NewCapture): events append to capture instead of the
+	// ring, and no metrics fold — everything is deferred to the Adopt
+	// replay into a real tracer. Used by the parallel controller to give
+	// each channel shard a private emission buffer for one barrier round.
+	capturing bool
+	capture   []Event
 }
 
 // New builds a tracer with capacity for events ring entries and, when
@@ -142,6 +149,82 @@ func New(events int, intervalCycles uint64) *Tracer {
 		events = 1
 	}
 	return &Tracer{ring: make([]Event, events), interval: intervalCycles}
+}
+
+// NewCapture builds a shard-capture tracer: every emit is appended to a
+// growable buffer verbatim (no ring, no metrics) until Adopt replays the
+// buffer into a real tracer and clears it. Exported accessors (Events,
+// Intervals, Count) see nothing — a capture is a transport, not a sink.
+func NewCapture() *Tracer {
+	return &Tracer{capturing: true, capture: make([]Event, 0, 64)}
+}
+
+// Adopt replays src's captured events into t exactly as if each had been
+// emitted on t directly — ring placement, per-kind counts and interval
+// metrics all roll identically — then clears src for the next round. The
+// parallel controller calls it once per channel per barrier round, in
+// channel order, which makes the merged stream byte-identical to the
+// serial path's.
+//
+//burstmem:hotpath
+func (t *Tracer) Adopt(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	for i := range src.capture {
+		t.replay(src.capture[i])
+	}
+	src.capture = src.capture[:0]
+}
+
+// replay re-dispatches one captured event through the same ring append and
+// metric updates its original emit wrapper would have performed. The
+// per-kind cases mirror Command/Enqueue/Forward/Start/Complete/Mark/
+// SchedPick exactly; keep them in sync.
+//
+//burstmem:hotpath
+func (t *Tracer) replay(e Event) {
+	t.emit(e)
+	switch e.Kind {
+	case EvPrecharge, EvActivate, EvRead, EvWrite, EvRefresh, EvAutoPrecharge:
+		if t.interval > 0 {
+			switch e.Kind {
+			case EvRead:
+				t.cur.Reads++
+				t.cur.DataBusCycles += e.Arg1 - e.Arg0
+			case EvWrite:
+				t.cur.Writes++
+				t.cur.DataBusCycles += e.Arg1 - e.Arg0
+			case EvActivate:
+				t.cur.Activates++
+			case EvPrecharge, EvAutoPrecharge:
+				t.cur.Precharges++
+			case EvRefresh:
+				t.cur.Refreshes++
+			}
+		}
+	case EvEnqueue:
+		t.cur.Enqueued++
+	case EvForward:
+		t.cur.Forwarded++
+	case EvStart:
+		if t.interval > 0 && e.Arg1 < 3 {
+			t.cur.Outcomes[e.Arg1]++
+		}
+	case EvComplete:
+		t.cur.Completed++
+	case EvPreempt, EvPiggyback, EvForcedWrite, EvIdleWrite, EvBurstForm, EvBurstJoin:
+		if t.interval > 0 {
+			switch e.Kind {
+			case EvPreempt:
+				t.cur.Preemptions++
+			case EvPiggyback:
+				t.cur.Piggybacks++
+			}
+		}
+	case EvSchedPick:
+		// No metrics beyond the count emit already rolled.
+	}
 }
 
 // Enabled reports whether the tracer records anything (false for nil).
@@ -194,6 +277,13 @@ func (t *Tracer) Events() []Event {
 // emit appends one event to the ring and rolls metrics. Callers are the
 // inlinable exported wrappers, which have already checked t != nil.
 func (t *Tracer) emit(e Event) {
+	if t.capturing {
+		// Shard capture: buffer verbatim; counts, ring and metrics all
+		// roll at Adopt-replay time on the adopting tracer.
+		//lint:ignore hotalloc capture buffer growth is amortized; capacity is retained across barrier rounds
+		t.capture = append(t.capture, e)
+		return
+	}
 	t.counts[e.Kind]++
 	t.ring[t.head] = e
 	t.head++

@@ -29,7 +29,7 @@ if [[ "${1:-}" == "-short" ]]; then
     OUT=""
 fi
 
-RAW=$(go test -run '^$' -bench 'BenchmarkSimThroughput' -benchmem -benchtime "$BENCHTIME" .)
+RAW=$(go test -run '^$' -bench 'BenchmarkSimThroughput|BenchmarkParallelSim' -benchmem -benchtime "$BENCHTIME" .)
 echo "$RAW"
 
 [[ -z "$OUT" ]] && exit 0
@@ -70,6 +70,26 @@ BEGIN { print "["; first = 1 }
     first = 0
     printf "  {\"case\": \"eventq/%s\", \"ns_per_op\": %s}", name, nsop
 }
+/^BenchmarkParallelSim\// {
+    # Channel-shard worker-pool cases land as parallel/<bench>/<mech>/workersN;
+    # the 4-worker-to-serial simcycles/s ratio is emitted at END as
+    # parallel_scaling_efficiency (on a 1-CPU host this measures barrier
+    # overhead, not speedup).
+    name = $1
+    sub(/^BenchmarkParallelSim\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    nsop = ""; cyc = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op") nsop = $i
+        if ($(i+1) == "simcycles/s") cyc = $i
+    }
+    if (cyc == "") next
+    if (name ~ /\/workers1$/) { base_cyc = cyc }
+    if (name ~ /\/workers4$/) { four_cyc = cyc }
+    if (!first) print ","
+    first = 0
+    printf "  {\"case\": \"parallel/%s\", \"simcycles_per_sec\": %s, \"ns_per_op\": %s}", name, cyc, nsop
+}
 /^BenchmarkSimThroughput\// {
     name = $1
     sub(/^BenchmarkSimThroughput\//, "", name)
@@ -87,6 +107,11 @@ BEGIN { print "["; first = 1 }
     printf "  {\"case\": \"%s\", \"simcycles_per_sec\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"steady_state_allocs_per_op\": %s}", name, cyc, nsop, bop, aop, hot
 }
 END {
+    if (base_cyc != "" && four_cyc != "") {
+        if (!first) print ","
+        first = 0
+        printf "  {\"case\": \"parallel_scaling_efficiency\", \"workers4_over_serial\": %.3f}", four_cyc / base_cyc
+    }
     if (!first) print ","
     printf "  {\"case\": \"burstlint\", \"wall_ms\": %s},\n", lint_ms
     printf "  {\"case\": \"burstlint_interproc\", \"wall_ms\": %s}\n", interproc_ms

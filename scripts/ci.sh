@@ -41,6 +41,18 @@ go test -count=1 -run 'FuzzQueueDifferential|TestQueueDifferential|TestWheel' ./
 go test -count=1 -tags invariants -run 'TestEngineShadow' ./internal/memctrl/
 go test -count=1 -tags invariants -run 'TestTraceSkipEquivalence' ./internal/sim/
 
+echo "== parallel-sim gate (differential equivalence + barrier fuzz seeds under -race, then a -count=2 determinism rerun) =="
+# The full -race stage above already covers these packages once; this stage
+# pins the contract explicitly. First the differential/metamorphic suite and
+# the FuzzParallelBarrier seed corpus under the race detector (-short bounds
+# the matrix: the full sweep runs in the plain -race stage), then the
+# equivalence suite twice in one invocation — identical configurations must
+# produce bit-identical results run to run, not just shard-merge to match
+# serial once.
+go test -race -short -count=1 -run 'Parallel' ./internal/sim/
+go test -race -count=1 ./internal/parsim/
+go test -count=2 -run 'TestParallelEquivalence' ./internal/sim/
+
 echo "== traced simulation (memsim -trace, exported JSON must parse) =="
 tracetmp="$(mktemp -d)"
 trap 'rm -rf "$tracetmp"' EXIT
