@@ -101,6 +101,11 @@ func New(cfg Config, ctrl *memctrl.Controller) (*FSB, error) {
 	}
 	f := &FSB{cfg: cfg, ctrl: ctrl, inflight: u64map.New[func()](cfg.QueueDepth)}
 	f.completeFn = f.complete
+	// QueueDepth bounds the request queue and (with the controller pool)
+	// the responses in flight; prewarming both rings keeps the steady-state
+	// loop allocation-free from the first cycle.
+	f.reqQ.Reserve(cfg.QueueDepth)
+	f.respQ.Reserve(cfg.QueueDepth)
 	return f, nil
 }
 

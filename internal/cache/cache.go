@@ -104,12 +104,15 @@ type Result int
 // MSHR was allocated and a line fetch starts; MissMerged means the access
 // joined an MSHR whose fetch was already in flight (both fire the done
 // callback when the fill arrives); Blocked means nothing was done and the
-// caller must retry next cycle.
+// caller must retry next cycle; Parked (AccessLoad only) means the access
+// would allocate a new line fetch but the caller forbade allocation — no
+// state was touched and no statistic counted.
 const (
 	Hit Result = iota
 	Miss
 	MissMerged
 	Blocked
+	Parked
 )
 
 // String implements fmt.Stringer.
@@ -123,6 +126,8 @@ func (r Result) String() string {
 		return "miss-merged"
 	case Blocked:
 		return "blocked"
+	case Parked:
+		return "parked"
 	}
 	return fmt.Sprintf("Result(%d)", int(r))
 }
@@ -193,8 +198,9 @@ type Cache struct {
 	wbQ      deque.Deque[uint64]
 	tick     uint64 // LRU touch counter
 
-	now    uint64                // cycle counter, advanced by Tick
-	delayQ deque.Deque[deferred] // latency-deferred callbacks, FIFO (constant delay)
+	now       uint64                // cycle counter, advanced by Tick
+	delayQ    deque.Deque[deferred] // latency-deferred callbacks, FIFO (constant delay)
+	fireBatch []func()              // scratch for Tick's batched completion delivery
 
 	Stats Stats
 }
@@ -251,6 +257,21 @@ func New(cfg Config, backend Backend) (*Cache, error) {
 	for v := cfg.LineBytes; v > 1; v >>= 1 {
 		c.offBits++
 	}
+	// Pre-build the whole mshr pool (MSHRs bounds concurrent occupancy, so
+	// acquireMSHR can never need more) with waiter-list slack, and give the
+	// Tick fire batch its scratch up front: the steady-state loop then runs
+	// allocation-free from the first cycle instead of ramping each pool to
+	// its high-water mark mid-measurement.
+	c.mshrFree = make([]*mshr, 0, cfg.MSHRs)
+	for i := 0; i < cfg.MSHRs; i++ {
+		m := &mshr{waiters: make([]func(), 0, 8)}
+		m.fillFn = func() { c.fill(m) }
+		c.mshrFree = append(c.mshrFree, m)
+	}
+	c.fireBatch = make([]func(), 0, 16)
+	c.mshrQ.Reserve(cfg.MSHRs)
+	c.wbQ.Reserve(2 * cfg.WritebackBuf)
+	c.delayQ.Reserve(32)
 	return c, nil
 }
 
@@ -321,9 +342,73 @@ func (c *Cache) Access(addr uint64, isWrite bool, done func()) Result {
 	return Miss
 }
 
+// AccessLoad performs a load access whose LSQ-slot admission is decided by
+// the cache in the same pass: with mayAllocate false, an access that would
+// start a new line fetch returns Parked with zero side effects (the CPU
+// parks the load on its LSQ queue and retries when a slot frees). This
+// fuses the WouldAllocate probe and the subsequent Access into a single
+// address decomposition and set probe — on an LSQ-saturated replay walk
+// the old pair decomposed and probed every address twice.
+//
+// The outcome and every observable side effect (LRU/MRU touches, statistic
+// counters, MSHR state) are identical to WouldAllocate+Access: hits and
+// coalesced misses proceed regardless of mayAllocate, exactly as they did
+// when WouldAllocate returned false.
+//
+//burstmem:hotpath
+func (c *Cache) AccessLoad(addr uint64, mayAllocate bool, done func()) Result {
+	set, tag := c.index(addr)
+	base := int(set) * c.ways
+	ways := c.lines[base : base+c.ways]
+	if ln := &ways[c.mru[set]]; ln.valid && ln.tag == tag {
+		c.tick++
+		ln.lru = c.tick
+		c.Stats.Hits++
+		return Hit
+	}
+	for i := range ways {
+		ln := &ways[i]
+		if ln.valid && ln.tag == tag {
+			c.tick++
+			ln.lru = c.tick
+			c.mru[set] = uint8(i)
+			c.Stats.Hits++
+			return Hit
+		}
+	}
+	la := tag << c.offBits
+	if m, ok := c.mshrs.Get(la); ok {
+		if done != nil {
+			//lint:ignore hotalloc waiter slice capacity is retained across MSHR pool reuse
+			m.waiters = append(m.waiters, done)
+		}
+		c.Stats.Coalesced++
+		return MissMerged
+	}
+	if !mayAllocate {
+		return Parked
+	}
+	if c.mshrs.Len() >= c.cfg.MSHRs || c.wbQ.Len() >= c.cfg.WritebackBuf {
+		// No MSHR, or fills might have nowhere to push victims.
+		c.Stats.Blocked++
+		return Blocked
+	}
+	m := c.acquireMSHR(la, false)
+	if done != nil {
+		//lint:ignore hotalloc waiter slice capacity is retained across MSHR pool reuse
+		m.waiters = append(m.waiters, done)
+	}
+	c.mshrs.Put(la, m)
+	c.mshrQ.PushBack(m)
+	c.Stats.Misses++
+	return Miss
+}
+
 // WouldAllocate reports whether an access to addr would start a new line
 // fetch (neither present nor already in flight). The CPU uses this to
-// charge LSQ slots only for distinct outstanding fetches.
+// charge LSQ slots only for distinct outstanding fetches. (The CPU's hot
+// path uses AccessLoad, which answers the same question and performs the
+// access in one probe; this remains for callers that only want the query.)
 func (c *Cache) WouldAllocate(addr uint64) bool {
 	if c.Probe(addr) {
 		return false
@@ -333,9 +418,14 @@ func (c *Cache) WouldAllocate(addr uint64) bool {
 }
 
 // Probe reports whether the line is present without touching LRU state.
+// The MRU hint is checked first — same shortcut as Access, equally
+// invisible in results (a pure ordering change over an equality scan).
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
 	ways := c.lines[int(set)*c.ways : int(set)*c.ways+c.ways]
+	if ln := &ways[c.mru[set]]; ln.valid && ln.tag == tag {
+		return true
+	}
 	for i := range ways {
 		ln := &ways[i]
 		if ln.valid && ln.tag == tag {
@@ -348,10 +438,26 @@ func (c *Cache) Probe(addr uint64) bool {
 // Tick advances one cycle of the cache's clock domain: latency-deferred
 // responses fire, pending miss requests issue to the backend, and the
 // writeback queue drains.
+//
+// Due completions are drained in a batch before any fires: the callbacks
+// never re-enter this cache's delay queue (they belong to the level above),
+// so a burst of same-cycle fills pays the queue's boundary checks once
+// instead of once per waiter.
+//
+//burstmem:hotpath
 func (c *Cache) Tick() {
 	c.now++
-	for c.delayQ.Len() > 0 && c.delayQ.Front().at <= c.now {
-		c.delayQ.PopFront().fn()
+	if c.delayQ.Len() > 0 && c.delayQ.Front().at <= c.now {
+		batch := c.fireBatch[:0]
+		for c.delayQ.Len() > 0 && c.delayQ.Front().at <= c.now {
+			//lint:ignore hotalloc fire-batch scratch keeps its capacity across ticks
+			batch = append(batch, c.delayQ.PopFront().fn)
+		}
+		for i, fn := range batch {
+			batch[i] = nil // release the closure; the scratch buffer persists
+			fn()
+		}
+		c.fireBatch = batch[:0]
 	}
 	// Issue pending miss requests.
 	for c.mshrQ.Len() > 0 {
@@ -424,8 +530,35 @@ func (c *Cache) SkipEligible() bool {
 	return c.delayQ.Len() == 0 && c.mshrQ.Len() == 0 && c.wbQ.Len() == 0
 }
 
+// NoEvent is NextEventCycle's "no internally scheduled event" sentinel.
+const NoEvent = ^uint64(0)
+
+// NextEventCycle returns the next cycle (on this cache's own clock) at
+// which Tick could do anything, or NoEvent when only external input can.
+// Unissued miss requests and queued writebacks retry every cycle; failing
+// those, the earliest deferred completion is the next event (the delay
+// queue is a constant-latency FIFO, so the front is the minimum). Ticks
+// strictly before the returned cycle are pure clock advances, exactly
+// what SkipCycles accounts.
+func (c *Cache) NextEventCycle() uint64 {
+	if c.mshrQ.Len() > 0 || c.wbQ.Len() > 0 {
+		return c.now + 1
+	}
+	if c.delayQ.Len() > 0 {
+		return c.delayQ.Front().at
+	}
+	return NoEvent
+}
+
 // SkipCycles advances the cycle counter over n skipped no-op cycles.
 func (c *Cache) SkipCycles(n uint64) { c.now += n }
+
+// InertFor reports whether the next n Ticks are provably equivalent to
+// SkipCycles(n): the NextEventCycle bound lies beyond them.
+func (c *Cache) InertFor(n uint64) bool {
+	next := c.NextEventCycle()
+	return next == NoEvent || next > c.now+n
+}
 
 // OutstandingMisses returns the number of allocated MSHRs.
 func (c *Cache) OutstandingMisses() int { return c.mshrs.Len() }

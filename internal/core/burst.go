@@ -240,11 +240,20 @@ func newBurst(h *memctrl.Host, name string, opt Options) *burstSched {
 	for r := range s.banks {
 		s.banks[r] = make([]*bankState, ch.Banks())
 		for b := range s.banks[r] {
-			s.banks[r][b] = &bankState{activeRow: -1}
+			s.banks[r][b] = &bankState{activeRow: -1, bursts: make([]*burstGroup, 0, 8)}
 		}
 	}
 	s.writes = memctrl.NewBankQueues(ch.Ranks(), ch.Banks())
 	s.burstsNE = make([]uint64, ch.Ranks())
+	// Prewarm the group pool to two groups per bank (row-spread workloads
+	// like mcf's pointer chase hold several open bursts per bank) so
+	// steady-state burst formation starts allocation-free instead of
+	// ramping the pool to its high-water mark mid-run.
+	n := 2 * ch.Ranks() * ch.Banks()
+	s.freeGroups = make([]*burstGroup, 0, 2*n)
+	for i := 0; i < n; i++ {
+		s.freeGroups = append(s.freeGroups, &burstGroup{})
+	}
 	return s
 }
 
@@ -374,6 +383,13 @@ func (s *burstSched) NextEventCycle(now uint64) uint64 {
 	}
 	return next
 }
+
+// PrewarmRanks implements memctrl.RankPrewarmer: burst scheduling keeps no
+// per-bank caches of its own beyond the engine's hint cache, so rank-shard
+// prewarming delegates straight to it.
+//
+//burstmem:hotpath
+func (s *burstSched) PrewarmRanks(lo, hi int) { s.engine.PrewarmRanks(lo, hi) }
 
 // arbitrateVacant is the bank arbiter subroutine (paper Fig. 5) for a bank
 // with no ongoing access.

@@ -16,6 +16,13 @@
 //     buffer; when cache writebacks saturate the memory controller's
 //     write queue, the buffer fills and the pipeline stalls (the paper's
 //     Section 5.1 mechanism).
+//
+// Pending loads are event-driven: instead of one linear replay list walked
+// every cycle, loads park on wakeup queues keyed by what blocks them
+// (dependence, LSQ slot, blocked cache), and a completing load wakes
+// exactly its dependent. The replay walk visits only queues that can make
+// progress, which also makes SkipEligible O(1) and gives NextEventCycle a
+// precise bound for the simulator's cycle-skipping engine.
 package cpu
 
 import (
@@ -99,6 +106,21 @@ type storeSlot struct {
 	filled  bool // fill arrived; slot can pop
 }
 
+// Park states for pending (dispatched, not yet issued) loads. A pending
+// load sits in exactly one wakeup queue matching its state; psNone marks
+// slots with no pending load (unoccupied, issued, or non-load).
+const (
+	psNone uint8 = iota
+	psReady
+	psBlocked
+	psLsq
+	psDep
+)
+
+// NoEvent is NextEventCycle's "no internally scheduled event" sentinel:
+// only an external cache callback can change the CPU's state.
+const NoEvent = ^uint64(0)
+
 // CPU is the core model.
 type CPU struct {
 	cfg Config
@@ -115,8 +137,43 @@ type CPU struct {
 	lastLoadIdx int
 	lastLoadSeq uint64
 
-	pendingIssue []int // ROB indices of loads awaiting issue
-	lsqInFlight  int
+	// Wakeup queues: ROB indices of pending loads in ascending dispatch
+	// (seq) order, partitioned by park reason. The replay walk is a
+	// min-seq merge across them, so the visit order is identical to the
+	// single-list walk it replaced; the partition only lets the walk skip
+	// entries that provably cannot progress.
+	//
+	//   readyQ   — dependence resolved by a completing load; must retry.
+	//   blockedQ — cache refused the access (MSHR/writeback pressure or
+	//              saturated memory write queue); must retry every cycle
+	//              (each retry is what the cache's Blocked stat counts).
+	//   lsqQ     — parked on a full LSQ; visited only while the walk's
+	//              bug-compatible lsqFull flag is unset.
+	//   depQ     — parked on an unresolved address dependence; woken by
+	//              completeLoad via depWaiter, never by the walk. May hold
+	//              stale entries already moved to readyQ (pstate disam-
+	//              biguates); compacted on each walk.
+	readyQ   []int
+	blockedQ []int
+	lsqQ     []int
+	depQ     []int
+	// Scratch double-buffers for rebuilding the queues during a walk
+	// without allocating. lsqOut is the merge destination for the case
+	// where an unvisited lsqQ tail must interleave with re-parked entries.
+	scratchB []int
+	scratchL []int
+	scratchD []int
+	lsqOut   []int
+
+	// pstate tracks each ROB slot's park state (psNone when not pending).
+	pstate []uint8
+	// depWaiter[i] is the ROB index of the (at most one) load whose
+	// address depends on the load in slot i, or -1. At most one because
+	// the dependence target is always the most recently dispatched load,
+	// and dispatching the dependent immediately makes it the new target.
+	depWaiter []int
+
+	lsqInFlight int
 
 	// Store buffer: a fixed ring of StoreBufSize slots. sbIssued counts
 	// slots from the head that have already been issued to the cache.
@@ -134,17 +191,6 @@ type CPU struct {
 	sbFillCB  []func()
 	issuedSeq []uint64 // rob generation at last issue, per slot
 
-	// replayIdle records that the last replay walk proved every pending
-	// load is parked — waiting on a full LSQ or an unresolved dependence —
-	// states only completeLoad can change. While set, replay (and the
-	// matching SkipEligible walk) skips the list outright. Cleared by
-	// completeLoad and by dispatch when it parks a new load.
-	replayIdle bool
-	// depWaiting counts pending loads parked on an unresolved dependence
-	// (recomputed each replay walk). While replayIdle holds, completions
-	// that free no LSQ slot can only matter if one of these exists.
-	depWaiting int
-
 	// stalled records that the last Tick ended SkipEligible: until an
 	// external cache callback arrives, every subsequent Tick is a pure
 	// stall whose only effects are the counters SkipCycles accounts, so
@@ -156,6 +202,11 @@ type CPU struct {
 	// the load-issue path avoids a per-call interface assertion (nil when
 	// the port does not support the query).
 	prober allocProber
+	// lport is mem's fused load-access view (AccessLoad): one address
+	// decomposition and set probe decides both LSQ admission and the
+	// access itself. Nil when the port does not support it (simple test
+	// stubs); the issue path then falls back to WouldAllocate+Access.
+	lport loadPort
 
 	now          uint64                    // internal cycle clock (never reset)
 	totalRetired uint64                    // lifetime retirement count (never reset)
@@ -180,12 +231,29 @@ func New(cfg Config, gen workload.Generator, mem Mem) (*CPU, error) {
 		gen:       gen,
 		mem:       mem,
 		rob:       make([]robEntry, cfg.ROBSize),
+		readyQ:    make([]int, 0, cfg.ROBSize),
+		blockedQ:  make([]int, 0, cfg.ROBSize),
+		lsqQ:      make([]int, 0, cfg.ROBSize),
+		depQ:      make([]int, 0, cfg.ROBSize),
+		scratchB:  make([]int, 0, cfg.ROBSize),
+		scratchL:  make([]int, 0, cfg.ROBSize),
+		scratchD:  make([]int, 0, cfg.ROBSize),
+		lsqOut:    make([]int, 0, cfg.ROBSize),
+		pstate:    make([]uint8, cfg.ROBSize),
+		depWaiter: make([]int, cfg.ROBSize),
 		sb:        make([]storeSlot, cfg.StoreBufSize),
 		loadCB:    make([]func(), cfg.ROBSize),
 		sbFillCB:  make([]func(), cfg.StoreBufSize),
 		issuedSeq: make([]uint64, cfg.ROBSize),
 	}
 	c.prober, _ = mem.(allocProber)
+	c.lport, _ = mem.(loadPort)
+	// L1-hit completions in flight are bounded by the LSQ; prewarm the
+	// ring so the steady-state loop never pays its doubling growth.
+	c.delayQ.Reserve(cfg.LSQSize)
+	for i := range c.depWaiter {
+		c.depWaiter[i] = -1
+	}
 	for i := range c.loadCB {
 		i := i
 		c.loadCB[i] = func() { c.loadReturned(i) }
@@ -213,8 +281,8 @@ func (c *CPU) Cycles() uint64 { return c.Stats.Cycles }
 // While stalled (see the field comment), a full Tick provably performs
 // exactly the SkipCycles(1) accounting — fireDelayed has nothing queued,
 // drainStores has everything issued and no fill at the head, retire blocks
-// on the head, replay only compacts already-dead entries, dispatch hits the
-// full ROB — so it short-circuits to that.
+// on the head, replay has no runnable queue, dispatch hits the full ROB —
+// so it short-circuits to that.
 //
 //burstmem:hotpath
 func (c *CPU) Tick() {
@@ -232,31 +300,51 @@ func (c *CPU) Tick() {
 	c.stalled = c.SkipEligible()
 }
 
+//burstmem:hotpath
 func (c *CPU) fireDelayed() {
 	for c.delayQ.Len() > 0 && c.delayQ.Front().at <= c.now {
 		d := c.delayQ.PopFront()
-		e := &c.rob[d.idx]
-		if e.seq == d.seq {
-			c.completeLoad(e)
+		if c.rob[d.idx].seq == d.seq {
+			c.completeLoad(d.idx)
 		}
 	}
 }
 
-// completeLoad marks a load done and releases its LSQ slot.
-func (c *CPU) completeLoad(e *robEntry) {
+// completeLoad marks a load done, releases its LSQ slot, and wakes the
+// (at most one) load whose address depends on it: the dependent moves
+// from depQ to readyQ, so the next replay walk visits exactly it instead
+// of rediscovering it by scanning.
+//
+//burstmem:hotpath
+func (c *CPU) completeLoad(idx int) {
+	e := &c.rob[idx]
 	if e.done {
 		return
 	}
 	e.done = true
 	if e.counted {
 		c.lsqInFlight--
-		// An LSQ slot freed: parked loads can issue again.
-		c.replayIdle = false
-	} else if c.depWaiting > 0 {
-		// No slot freed, but this load may be the address dependence some
-		// parked load waits on.
-		c.replayIdle = false
 	}
+	if w := c.depWaiter[idx]; w >= 0 {
+		c.depWaiter[idx] = -1
+		c.pstate[w] = psReady
+		c.insertReady(w)
+	}
+}
+
+// insertReady inserts a woken load into readyQ keeping ascending seq
+// order (completions arrive out of order). The queue is near-empty in
+// practice, so the linear shift from the back is cheap.
+func (c *CPU) insertReady(idx int) {
+	s := c.rob[idx].seq
+	q := append(c.readyQ, 0)
+	i := len(q) - 1
+	for i > 0 && c.rob[q[i-1]].seq > s {
+		q[i] = q[i-1]
+		i--
+	}
+	q[i] = idx
+	c.readyQ = q
 }
 
 // storeIssueWidth bounds store-buffer cache accesses per cycle. Store
@@ -271,7 +359,9 @@ const storeIssueWidth = 4
 func (c *CPU) drainStores() {
 	for c.sbLen > 0 && c.sb[c.sbHead].filled {
 		c.sb[c.sbHead] = storeSlot{}
-		c.sbHead = (c.sbHead + 1) % c.cfg.StoreBufSize
+		if c.sbHead++; c.sbHead == c.cfg.StoreBufSize {
+			c.sbHead = 0
+		}
 		c.sbLen--
 		if c.sbIssued > 0 {
 			c.sbIssued--
@@ -279,7 +369,10 @@ func (c *CPU) drainStores() {
 	}
 	issued := 0
 	for c.sbIssued < c.sbLen && issued < storeIssueWidth {
-		i := (c.sbHead + c.sbIssued) % c.cfg.StoreBufSize
+		i := c.sbHead + c.sbIssued
+		if i >= c.cfg.StoreBufSize {
+			i -= c.cfg.StoreBufSize
+		}
 		s := &c.sb[i]
 		switch c.mem.Access(s.addr, true, c.sbFillCB[i]) {
 		case cache.Hit:
@@ -315,61 +408,254 @@ func (c *CPU) retire() {
 				c.Stats.StoreBufFullStalls++
 				return
 			}
-			c.sb[(c.sbHead+c.sbLen)%c.cfg.StoreBufSize] = storeSlot{addr: e.addr}
+			slot := c.sbHead + c.sbLen
+			if slot >= c.cfg.StoreBufSize {
+				slot -= c.cfg.StoreBufSize
+			}
+			c.sb[slot] = storeSlot{addr: e.addr}
 			c.sbLen++
 			c.Stats.StoresQueued++
 		}
-		c.head = (c.head + 1) % c.cfg.ROBSize
+		if c.head++; c.head == c.cfg.ROBSize {
+			c.head = 0
+		}
 		c.count--
 		c.Stats.Retired++
 		c.totalRetired++
 	}
 }
 
-// replay retries loads that could not issue earlier (dependence unresolved,
-// LSQ full, or cache blocked). Loads known to be waiting on a full LSQ are
-// skipped cheaply while it remains full.
+// walkNeeded reports whether a replay walk could have any observable
+// effect: a woken dependent, a cache-blocked load that must retry, or an
+// LSQ-parked load with a free slot. Dep-parked loads never require a walk
+// (completeLoad wakes them), and LSQ-parked loads behind a full LSQ would
+// only be skipped.
+//
+//burstmem:hotpath
+func (c *CPU) walkNeeded() bool {
+	return len(c.readyQ) > 0 || len(c.blockedQ) > 0 ||
+		(len(c.lsqQ) > 0 && c.lsqInFlight < c.cfg.LSQSize)
+}
+
+// replay retries loads that could not issue earlier. The walk is a
+// min-seq merge over the wakeup queues, reproducing exactly the visit
+// order (and the per-visit cache accesses) of a linear walk over all
+// pending loads in dispatch order, with two refinements that change no
+// observable behaviour:
+//
+//   - dep-parked loads are "visited" without an issue attempt (the
+//     attempt would fail at the dependence check with no side effect);
+//     the visit still updates the walk-local lsqFull flag, which controls
+//     which LSQ-parked loads downstream in seq order get skipped;
+//   - the walk runs only when walkNeeded: a skipped walk would have
+//     issued no cache access (every load parked on a dependence or a
+//     full LSQ, none cache-blocked, none woken).
+//
+// The lsqFull flag is bug-compatible with the original list walk: it
+// initializes from the live LSQ count, flips to true at the first failed
+// visit while the LSQ is full, and never flips back — so a load parked on
+// the LSQ can still issue mid-walk if its line is already present or in
+// flight (WouldAllocate false) and no earlier failure latched the flag.
+//
+//burstmem:hotpath
 func (c *CPU) replay() {
-	if c.replayIdle {
+	if !c.walkNeeded() {
 		return
 	}
 	lsqFull := c.lsqInFlight >= c.cfg.LSQSize
-	idle := true
-	depParked := 0
-	remaining := c.pendingIssue[:0]
-	for _, idx := range c.pendingIssue {
-		e := &c.rob[idx]
-		if e.done || e.issued {
-			continue
-		}
-		if e.lsqWait && lsqFull {
-			remaining = append(remaining, idx)
-			continue
-		}
-		if !c.tryIssueLoad(idx, e) {
-			remaining = append(remaining, idx)
+	// Fast path: only cache-blocked loads are walkable — the typical
+	// streaming steady state, where the L1 MSHRs are saturated and every
+	// other queue is empty (or the LSQ-parked queue is wholesale skipped
+	// behind a full LSQ). The min-seq merge degenerates to a linear walk
+	// over blockedQ, which is already in seq order.
+	if len(c.readyQ) == 0 && len(c.depQ) == 0 && (lsqFull || len(c.lsqQ) == 0) {
+		newBlocked := c.scratchB[:0]
+		newLsq := c.scratchL[:0]
+		for _, idx := range c.blockedQ {
+			e := &c.rob[idx]
+			if c.tryIssueLoad(idx, e) {
+				c.pstate[idx] = psNone
+				continue
+			}
 			if c.lsqInFlight >= c.cfg.LSQSize {
 				lsqFull = true
 			}
-			if e.depSeq != 0 {
-				depParked++
-			} else if !e.lsqWait {
-				// Cache-blocked: must retry every cycle (the retry is
-				// what the cache's Blocked statistic counts).
-				idle = false
+			if e.lsqWait {
+				// The LSQ filled mid-walk: the load re-parks there.
+				c.pstate[idx] = psLsq
+				//lint:ignore hotalloc scratch queue keeps its capacity across walks, bounded by ROB size
+				newLsq = append(newLsq, idx)
+				continue
 			}
+			//lint:ignore hotalloc scratch queue keeps its capacity across walks, bounded by ROB size
+			newBlocked = append(newBlocked, idx)
+		}
+		c.blockedQ, c.scratchB = newBlocked, c.blockedQ
+		c.commitLsq(0, newLsq)
+		return
+	}
+	ri, bi, li, di := 0, 0, 0, 0
+	newBlocked := c.scratchB[:0]
+	newLsq := c.scratchL[:0]
+	newDep := c.scratchD[:0]
+	// Cached head seqs, refreshed only when a cursor advances: the merge's
+	// per-iteration cost is register compares, not four ROB loads.
+	const noSeq = ^uint64(0)
+	rs, bs, ls, ds := noSeq, noSeq, noSeq, noSeq
+	if len(c.readyQ) > 0 {
+		rs = c.rob[c.readyQ[0]].seq
+	}
+	if len(c.blockedQ) > 0 {
+		bs = c.rob[c.blockedQ[0]].seq
+	}
+	if len(c.lsqQ) > 0 {
+		ls = c.rob[c.lsqQ[0]].seq
+	}
+	// Drop depQ entries already woken into readyQ (lazy deletion).
+	for di < len(c.depQ) && c.pstate[c.depQ[di]] != psDep {
+		di++
+	}
+	if di < len(c.depQ) {
+		ds = c.rob[c.depQ[di]].seq
+	}
+walk:
+	for {
+		best, src := rs, 0
+		if bs < best {
+			best, src = bs, 1
+		}
+		if !lsqFull && ls < best {
+			best, src = ls, 2
+		}
+		if ds < best {
+			best, src = ds, 3
+		}
+		if best == noSeq {
+			break
+		}
+		var idx int
+		switch src {
+		case 0:
+			idx = c.readyQ[ri]
+			ri++
+			rs = noSeq
+			if ri < len(c.readyQ) {
+				rs = c.rob[c.readyQ[ri]].seq
+			}
+		case 1:
+			idx = c.blockedQ[bi]
+			bi++
+			bs = noSeq
+			if bi < len(c.blockedQ) {
+				bs = c.rob[c.blockedQ[bi]].seq
+			}
+		case 2:
+			idx = c.lsqQ[li]
+			li++
+			ls = noSeq
+			if li < len(c.lsqQ) {
+				ls = c.rob[c.lsqQ[li]].seq
+			}
+		default:
+			// Dependence still unresolved: the issue attempt would fail
+			// with no side effect beyond latching the lsqFull flag.
+			if c.lsqInFlight >= c.cfg.LSQSize {
+				lsqFull = true
+			}
+			if rs == noSeq && bs == noSeq && (lsqFull || ls == noSeq) {
+				// Only dep-parked loads remain and the flag is settled:
+				// the rest of the walk is pure bookkeeping, so keep the
+				// tail in bulk (stale entries stay lazily deleted).
+				//lint:ignore hotalloc scratch queue keeps its capacity across walks, bounded by ROB size
+				newDep = append(newDep, c.depQ[di:]...)
+				di = len(c.depQ)
+				break walk
+			}
+			//lint:ignore hotalloc scratch queue keeps its capacity across walks, bounded by ROB size
+			newDep = append(newDep, c.depQ[di])
+			di++
+			for di < len(c.depQ) && c.pstate[c.depQ[di]] != psDep {
+				di++
+			}
+			ds = noSeq
+			if di < len(c.depQ) {
+				ds = c.rob[c.depQ[di]].seq
+			}
+			continue
+		}
+		e := &c.rob[idx]
+		if c.tryIssueLoad(idx, e) {
+			c.pstate[idx] = psNone
+			continue
+		}
+		if c.lsqInFlight >= c.cfg.LSQSize {
+			lsqFull = true
+		}
+		switch {
+		case e.lsqWait:
+			c.pstate[idx] = psLsq
+			//lint:ignore hotalloc scratch queue keeps its capacity across walks, bounded by ROB size
+			newLsq = append(newLsq, idx)
+		case e.depSeq != 0:
+			c.pstate[idx] = psDep
+			//lint:ignore hotalloc scratch queue keeps its capacity across walks, bounded by ROB size
+			newDep = append(newDep, idx)
+		default:
+			// Cache-blocked: must retry every cycle (the retry is what
+			// the cache's Blocked statistic counts).
+			c.pstate[idx] = psBlocked
+			//lint:ignore hotalloc scratch queue keeps its capacity across walks, bounded by ROB size
+			newBlocked = append(newBlocked, idx)
 		}
 	}
-	c.pendingIssue = remaining
-	c.depWaiting = depParked
-	// Entries parked on the LSQ were all (re)checked under lsqFull=true —
-	// issues only grow lsqInFlight mid-walk — so with no cache-blocked
-	// stragglers the list cannot make progress until a completeLoad.
-	c.replayIdle = idle
+	c.readyQ = c.readyQ[:0]
+	c.blockedQ, c.scratchB = newBlocked, c.blockedQ
+	c.depQ, c.scratchD = newDep, c.depQ
+	c.commitLsq(li, newLsq)
+}
+
+// commitLsq folds a replay walk's re-parked loads (newLsq, in seq order)
+// back into the LSQ-parked queue, given that the walk consumed the first
+// li entries of the old queue.
+func (c *CPU) commitLsq(li int, newLsq []int) {
+	if li == 0 && len(newLsq) == 0 {
+		// No LSQ-parked load was visited or re-parked (typical when the
+		// flag was latched from the start): the queue is unchanged.
+		return
+	}
+	switch {
+	case li >= len(c.lsqQ):
+		// Every entry was visited: the rebuilt queue replaces it.
+		c.lsqQ, c.scratchL = newLsq, c.lsqQ
+	case len(newLsq) == 0:
+		// Visited entries all issued; compact the unvisited tail in place.
+		n := copy(c.lsqQ, c.lsqQ[li:])
+		c.lsqQ = c.lsqQ[:n]
+	default:
+		// The lsqFull flag latched with entries still unvisited; later
+		// visits may have re-parked loads with larger seqs, so the two
+		// sorted runs must interleave by seq, not concatenate.
+		out := c.lsqOut[:0]
+		i := 0
+		for i < len(newLsq) && li < len(c.lsqQ) {
+			if c.rob[newLsq[i]].seq < c.rob[c.lsqQ[li]].seq {
+				out = append(out, newLsq[i])
+				i++
+			} else {
+				out = append(out, c.lsqQ[li])
+				li++
+			}
+		}
+		out = append(out, newLsq[i:]...)
+		out = append(out, c.lsqQ[li:]...)
+		c.lsqQ, c.lsqOut = out, c.lsqQ
+	}
 }
 
 // tryIssueLoad attempts a load's cache access. Returns false if it must be
 // replayed later.
+//
+//burstmem:hotpath
 func (c *CPU) tryIssueLoad(idx int, e *robEntry) bool {
 	if e.depSeq != 0 {
 		if dep := &c.rob[e.depIdx]; dep.seq == e.depSeq && !dep.done {
@@ -379,15 +665,27 @@ func (c *CPU) tryIssueLoad(idx int, e *robEntry) bool {
 	}
 	// The LSQ bounds distinct outstanding line fetches; hits and merged
 	// misses ride existing entries. A load that may allocate a new fetch
-	// must find a free slot first.
-	if c.lsqInFlight >= c.cfg.LSQSize && c.wouldAllocate(e.addr) {
-		e.lsqWait = true
-		return false
+	// must find a free slot first. With a fused port both decisions take
+	// one probe: Parked is exactly the WouldAllocate-true park, with no
+	// access performed.
+	var res cache.Result
+	if c.lport != nil {
+		res = c.lport.AccessLoad(e.addr, c.lsqInFlight < c.cfg.LSQSize, c.loadCB[idx])
+		if res == cache.Parked {
+			e.lsqWait = true
+			return false
+		}
+	} else {
+		if c.lsqInFlight >= c.cfg.LSQSize && c.wouldAllocate(e.addr) {
+			e.lsqWait = true
+			return false
+		}
+		res = c.mem.Access(e.addr, false, c.loadCB[idx])
 	}
 	e.lsqWait = false
 	seq := e.seq
 	c.issuedSeq[idx] = seq
-	switch c.mem.Access(e.addr, false, c.loadCB[idx]) {
+	switch res {
 	case cache.Hit:
 		e.issued = true
 		c.Stats.LoadsIssued++
@@ -413,6 +711,13 @@ func (c *CPU) tryIssueLoad(idx int, e *robEntry) bool {
 // allocProber is the optional memory-port query wouldAllocate uses.
 type allocProber interface{ WouldAllocate(addr uint64) bool }
 
+// loadPort is the optional fused load-access port (the L1 cache): one
+// probe decides LSQ admission and performs the access, returning
+// cache.Parked — side-effect free — when the load must wait for a slot.
+type loadPort interface {
+	AccessLoad(addr uint64, mayAllocate bool, done func()) cache.Result
+}
+
 // wouldAllocate asks the memory port whether a load would start a new line
 // fetch, when the port supports the query (the L1 cache does; simple test
 // stubs need not).
@@ -432,9 +737,8 @@ func (c *CPU) wouldAllocate(addr uint64) bool {
 // anyway.
 func (c *CPU) loadReturned(idx int) {
 	c.stalled = false
-	e := &c.rob[idx]
-	if e.seq == c.issuedSeq[idx] {
-		c.completeLoad(e)
+	if c.rob[idx].seq == c.issuedSeq[idx] {
+		c.completeLoad(idx)
 	}
 }
 
@@ -450,7 +754,11 @@ func (c *CPU) dispatch() {
 		idx := c.tail
 		e := &c.rob[idx]
 		*e = robEntry{typ: op.Type, addr: op.Addr, seq: c.seq}
-		c.tail = (c.tail + 1) % c.cfg.ROBSize
+		c.pstate[idx] = psNone
+		c.depWaiter[idx] = -1
+		if c.tail++; c.tail == c.cfg.ROBSize {
+			c.tail = 0
+		}
 		c.count++
 		switch op.Type {
 		case workload.OpNonMem, workload.OpStore:
@@ -468,8 +776,20 @@ func (c *CPU) dispatch() {
 			c.lastLoadIdx = idx
 			c.lastLoadSeq = c.seq
 			if !c.tryIssueLoad(idx, e) {
-				c.pendingIssue = append(c.pendingIssue, idx)
-				c.replayIdle = false
+				// Park by reason; appends keep seq order (new loads have
+				// the maximal seq).
+				switch {
+				case e.depSeq != 0:
+					c.depWaiter[e.depIdx] = idx
+					c.pstate[idx] = psDep
+					c.depQ = append(c.depQ, idx)
+				case e.lsqWait:
+					c.pstate[idx] = psLsq
+					c.lsqQ = append(c.lsqQ, idx)
+				default:
+					c.pstate[idx] = psBlocked
+					c.blockedQ = append(c.blockedQ, idx)
+				}
 			}
 		}
 	}
@@ -485,9 +805,9 @@ func (c *CPU) dispatch() {
 // fill not yet arrived (drainStores idles); the ROB head blocked — an
 // incomplete load, or a store facing a full buffer (retire idles; an
 // incomplete head is always a load, since non-memory ops and stores
-// dispatch completed); every pending load either stale (done/issued),
-// parked on a full LSQ, or dependence-blocked (replay idles); and the ROB
-// full (dispatch idles).
+// dispatch completed); no wakeup queue runnable (replay idles); and the
+// ROB full (dispatch idles). All O(1) — the wakeup queues replace the
+// linear pending-load scan the check previously needed.
 func (c *CPU) SkipEligible() bool {
 	if c.delayQ.Len() != 0 || c.count < c.cfg.ROBSize {
 		return false
@@ -499,30 +819,52 @@ func (c *CPU) SkipEligible() bool {
 	if head.done && !(head.typ == workload.OpStore && c.sbLen >= c.cfg.StoreBufSize) {
 		return false
 	}
-	if !c.replayIdle {
-		lsqFull := c.lsqInFlight >= c.cfg.LSQSize
-		for _, idx := range c.pendingIssue {
-			e := &c.rob[idx]
-			if e.done || e.issued {
-				continue
-			}
-			if e.lsqWait && lsqFull {
-				continue
-			}
-			if e.depSeq != 0 {
-				if dep := &c.rob[e.depIdx]; dep.seq == e.depSeq && !dep.done {
-					continue
-				}
-			}
-			return false
-		}
-	}
-	return true
+	return !c.walkNeeded()
 }
 
-// SkipCycles accounts n skipped stall cycles (caller checked SkipEligible):
-// the clock advances and the counters a stalled Tick would have bumped —
-// ROB-full at dispatch, plus the head-blocked reason at retire — grow by n.
+// NextEventCycle returns the next CPU cycle (on the CPU's own clock) at
+// which Tick could do anything beyond the bulk accounting SkipCycles
+// performs, or NoEvent when only an external cache callback can change
+// state. The caller may replace the Ticks strictly before the returned
+// cycle with one SkipCycles call; the result is bit-identical because in
+// that span every stage idles: nothing in delayQ is due, the store buffer
+// is fully issued with no fill at the head, the head is blocked (bumping
+// exactly the stall counter SkipCycles bumps), no wakeup queue is
+// runnable, and the ROB is full.
+func (c *CPU) NextEventCycle() uint64 {
+	if c.stalled {
+		// SkipEligible held at the last Tick and no callback has arrived
+		// since: delayQ is empty, so nothing internal is scheduled.
+		return NoEvent
+	}
+	if c.count >= c.cfg.ROBSize && !c.walkNeeded() &&
+		c.sbIssued == c.sbLen && !(c.sbLen > 0 && c.sb[c.sbHead].filled) {
+		head := &c.rob[c.head]
+		if !head.done || (head.typ == workload.OpStore && c.sbLen >= c.cfg.StoreBufSize) {
+			// Active-quiet: identical to the stalled state except for
+			// pending L1-hit completions, the earliest of which is the
+			// next state change (the delay queue is a constant-latency
+			// FIFO, so the front is the minimum).
+			if c.delayQ.Len() > 0 {
+				return c.delayQ.Front().at
+			}
+			return NoEvent
+		}
+	}
+	return c.now + 1
+}
+
+// InertFor reports whether the next n Ticks are provably equivalent to
+// SkipCycles(n): the next event NextEventCycle bounds lies beyond them.
+func (c *CPU) InertFor(n uint64) bool {
+	next := c.NextEventCycle()
+	return next == NoEvent || next > c.now+n
+}
+
+// SkipCycles accounts n skipped stall cycles (caller checked SkipEligible
+// or a NextEventCycle bound): the clock advances and the counters a
+// stalled Tick would have bumped — ROB-full at dispatch, plus the
+// head-blocked reason at retire — grow by n.
 func (c *CPU) SkipCycles(n uint64) {
 	c.now += n
 	c.Stats.Cycles += n

@@ -29,6 +29,21 @@ func (d *Deque[T]) grow() {
 	d.head = 0
 }
 
+// Reserve grows the ring so at least n elements fit without reallocating,
+// letting constructors prewarm queues to their expected high-water mark so
+// the steady-state loop never pays the doubling growth.
+func (d *Deque[T]) Reserve(n int) {
+	if n <= len(d.buf) {
+		return
+	}
+	buf := make([]T, n)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
 // PushBack appends v at the tail.
 func (d *Deque[T]) PushBack(v T) {
 	if d.n == len(d.buf) {

@@ -214,6 +214,13 @@ type Controller struct {
 	// (the default). See parallel.go and SetWorkers.
 	par *parRun
 
+	// minColLat is the smallest possible gap, in cycles, between a column
+	// command issuing and its data finishing: min(TCL, TCWD) + the data
+	// transfer. Any completion scheduled inside a tick window therefore
+	// fires at least minColLat cycles after the window start, which is what
+	// makes WindowBound's completion-free guarantee sound.
+	minColLat uint64
+
 	Stats CtrlStats
 }
 
@@ -254,6 +261,11 @@ func New(cfg Config, factory Factory) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{cfg: cfg, mapper: mapper}
+	colLat := cfg.Timing.TCL
+	if cfg.Timing.TCWD < colLat {
+		colLat = cfg.Timing.TCWD
+	}
+	c.minColLat = uint64(colLat + cfg.Timing.DataCycles())
 	c.Stats.OutstandingReads = stats.NewHistogram(cfg.PoolSize + 1)
 	c.Stats.OutstandingWrites = stats.NewHistogram(cfg.MaxWrites + 1)
 	c.Stats.ReadLatencyHist = stats.NewHistogram(latencyHistSize)
@@ -269,6 +281,15 @@ func New(cfg Config, factory Factory) (*Controller, error) {
 		c.mechs = append(c.mechs, factory(host))
 		c.pendingWriteLines = append(c.pendingWriteLines, u64map.New[*Access](cfg.MaxWrites))
 	}
+	// Pre-link the whole access free list: pool admission caps live
+	// accesses at PoolSize, so acquire never needs more and the hot loop
+	// never pays the pool's warm-up allocations.
+	backing := make([]Access, cfg.PoolSize)
+	for i := range backing {
+		backing[i].next = c.freeAccess
+		c.freeAccess = &backing[i]
+	}
+	c.completions.s = make([]completion, 0, cfg.PoolSize)
 	return c, nil
 }
 
@@ -391,19 +412,41 @@ func (c *Controller) Submit(kind Kind, addr uint64, onComplete func(*Access, uin
 //burstmem:hotpath
 func (c *Controller) Tick(now uint64) {
 	c.now = now
-	for !c.completions.empty() && c.completions.peek().at <= now {
-		done := c.completions.pop()
-		c.finish(done.access, done.at)
-		c.release(done.access)
-	}
-	if c.par != nil {
+	c.drainCompletions(now)
+	if c.par != nil && !c.par.rankMode {
 		c.tickChannelsParallel(now)
 	} else {
+		if c.par != nil {
+			// Rank-sharded mode: one prewarm barrier round refreshes the
+			// single channel's bank-hint cache across the workers, then the
+			// channel and mechanism tick serially on this goroutine.
+			c.par.rounds++
+			c.par.pool.Run()
+		}
 		for i, ch := range c.channels {
 			ch.Tick(now)
 			c.mechs[i].Tick(now)
 		}
 	}
+	c.samplePhase(now)
+}
+
+// drainCompletions fires every completion due at or before now (phase A).
+//
+//burstmem:hotpath
+func (c *Controller) drainCompletions(now uint64) {
+	for !c.completions.empty() && c.completions.peek().at <= now {
+		done := c.completions.pop()
+		c.finish(done.access, done.at)
+		c.release(done.access)
+	}
+}
+
+// samplePhase rolls the per-cycle sampled statistics for one ticked cycle
+// (phase D).
+//
+//burstmem:hotpath
+func (c *Controller) samplePhase(now uint64) {
 	c.Stats.Cycles++
 	c.Stats.OutstandingReads.Add(c.poolReads)
 	c.Stats.OutstandingWrites.Add(c.poolWrites)
@@ -414,6 +457,64 @@ func (c *Controller) Tick(now uint64) {
 		c.Stats.PoolFullCycles++
 	}
 	c.tracer.SampleOccupancy(now, c.poolReads, c.poolWrites, c.poolWrites >= c.cfg.MaxWrites)
+}
+
+// WindowBound returns the largest cycle `to` such that ticking cycles
+// [from, to) as one window cannot fire a completion: completions already
+// scheduled bound it from above, and any column command issued inside the
+// window finishes its data no earlier than from + minColLat. Everything
+// else a channel tick can observe besides completions — pool occupancy,
+// the write queue — only changes on completions and submissions, so a
+// caller that also guarantees no Submit before `to` may batch the whole
+// window through TickWindow.
+//
+//burstmem:hotpath
+func (c *Controller) WindowBound(from uint64) uint64 {
+	to := from + c.minColLat
+	if !c.completions.empty() {
+		if at := c.completions.peek().at; at < to {
+			to = at
+		}
+	}
+	return to
+}
+
+// TickWindow advances the controller through cycles [from, to) in one
+// batch. Caller contract: from is the cycle after the last ticked one,
+// to <= WindowBound(from), and no Submit call happens for the whole
+// window. Observable behaviour — statistics, trace stream, completion
+// order — is bit-identical to calling Tick for each cycle; the parallel
+// coordinator crosses its barrier once for the whole window instead of
+// once per cycle.
+//
+//burstmem:hotpath
+func (c *Controller) TickWindow(from, to uint64) {
+	if to <= from {
+		return
+	}
+	if c.par != nil {
+		c.par.windows++
+		c.par.windowCycles += to - from
+	}
+	if c.par != nil && !c.par.rankMode {
+		c.tickWindowParallel(from, to)
+		return
+	}
+	if c.par != nil {
+		// Rank-sharded mode: one prewarm round covers the window start;
+		// in-window hint invalidations re-sync serially as always.
+		c.par.rounds++
+		c.par.pool.Run()
+	}
+	for cyc := from; cyc < to; cyc++ {
+		c.now = cyc
+		c.drainCompletions(cyc)
+		for i, ch := range c.channels {
+			ch.Tick(cyc)
+			c.mechs[i].Tick(cyc)
+		}
+		c.samplePhase(cyc)
+	}
 }
 
 // NoEvent is the "no scheduled event" sentinel (== dram.NoEvent).
@@ -479,6 +580,9 @@ func (c *Controller) NextEventCycle(now uint64) uint64 {
 func (c *Controller) AccountSkipped(k uint64) {
 	if k == 0 {
 		return
+	}
+	if c.par != nil {
+		c.par.skipCycles += k
 	}
 	c.Stats.Cycles += k
 	c.Stats.OutstandingReads.AddN(c.poolReads, k)
@@ -623,10 +727,25 @@ type Host struct {
 
 	// pending holds this shard's completion pushes during a barrier round;
 	// the controller flushes it into the heap in channel order afterwards,
-	// reproducing the serial path's exact heap push order.
+	// reproducing the serial path's exact heap push order. Each entry is
+	// stamped with the channel cycle that pushed it, so a multi-cycle
+	// window round can flush cycle-major across channels (the serial
+	// order); pendCur is the window merge's flush cursor.
 	//
 	//burstmem:chanlocal
-	pending []completion
+	pending []shardCompletion
+	// pendCur is advanced only by the coordinator's serial merge, but it
+	// belongs to this host's object graph like pending itself.
+	//
+	//burstmem:chanlocal
+	pendCur int
+}
+
+// shardCompletion is one buffered completion push plus the channel cycle
+// that produced it.
+type shardCompletion struct {
+	completion
+	pushed uint64
 }
 
 // Channel returns the host channel device.
@@ -690,7 +809,8 @@ func (h *Host) CompleteAt(a *Access, dataEnd uint64) {
 		// sees pushes in the exact order the serial loop would produce
 		// (the heap's equal-time tie-break depends on push order).
 		//lint:ignore hotalloc per-shard completion buffer; capacity is retained across cycles and bounded by in-flight accesses
-		h.pending = append(h.pending, completion{at: dataEnd, access: a})
+		h.pending = append(h.pending,
+			shardCompletion{completion{at: dataEnd, access: a}, h.ch.Now()})
 		return
 	}
 	h.ctrl.completions.push(completion{at: dataEnd, access: a})

@@ -253,6 +253,34 @@ func (e *Engine) syncBank(ch *dram.Channel, r, b int) {
 	h.valid = true
 }
 
+// PrewarmRanks refreshes the hint cache for the occupied banks of ranks
+// [lo, hi) without touching the engine's aggregate sync state (minFull,
+// dirty, syncedVer): the next sync() then finds those hints version-clean
+// and reduces to its aggregate fold. Writes are confined to the hint slots
+// of the given ranks and every channel query used is read-only, so
+// disjoint rank ranges are safe to refresh concurrently — the rank-sharded
+// parallel mode runs one PrewarmRanks per rank shard inside a barrier
+// round, before the channel ticks. Skipped entirely when no hint can be
+// stale (the same version guard sync() uses), so idle rounds cost two
+// compares.
+//
+//burstmem:hotpath
+func (e *Engine) PrewarmRanks(lo, hi int) {
+	ch := e.host.Channel()
+	if !e.dirty && ch.StateVersion() == e.syncedVer {
+		return
+	}
+	if hi > len(e.occ) {
+		hi = len(e.occ)
+	}
+	for r := lo; r < hi; r++ {
+		for mask := e.occ[r]; mask != 0; mask &= mask - 1 {
+			b := bits.TrailingZeros64(mask)
+			e.syncBank(ch, r, b)
+		}
+	}
+}
+
 // Candidate is a bank's next transaction, with its unblocked status this
 // cycle.
 type Candidate struct {

@@ -550,6 +550,19 @@ func (s *rowHit) NextEventCycle(now uint64) uint64 { return s.engine.NextEventCy
 //burstmem:hotpath
 func (s *intel) NextEventCycle(now uint64) uint64 { return s.engine.NextEventCycle(now) }
 
+// PrewarmRanks implementations (memctrl.RankPrewarmer): the baseline
+// mechanisms keep no per-bank caches beyond the engine's, so rank-shard
+// prewarming delegates straight to it.
+
+//burstmem:hotpath
+func (s *bankInOrder) PrewarmRanks(lo, hi int) { s.engine.PrewarmRanks(lo, hi) }
+
+//burstmem:hotpath
+func (s *rowHit) PrewarmRanks(lo, hi int) { s.engine.PrewarmRanks(lo, hi) }
+
+//burstmem:hotpath
+func (s *intel) PrewarmRanks(lo, hi int) { s.engine.PrewarmRanks(lo, hi) }
+
 var (
 	_ memctrl.Mechanism   = (*bankInOrder)(nil)
 	_ memctrl.Mechanism   = (*rowHit)(nil)

@@ -5,6 +5,7 @@ import (
 
 	"burstmem/internal/addrmap"
 	"burstmem/internal/memctrl"
+	"burstmem/internal/workload"
 	"burstmem/internal/xrand"
 )
 
@@ -56,6 +57,47 @@ func TestSchedulerSteadyStateAllocs(t *testing.T) {
 			allocs := testing.AllocsPerRun(10, func() { step(2000) })
 			if allocs != 0 {
 				t.Fatalf("%s steady-state scheduler path allocates: %.1f allocs per 2000 cycles", mech, allocs)
+			}
+		})
+	}
+}
+
+// TestSystemSteadyStateAllocs pins the full machine — CPU front end, L1D,
+// L2, FSB, controller, mechanism, skip engine and window batching — at
+// zero steady-state heap allocations. Every pool, ring and heap is
+// prewarmed to its admission-bounded high-water mark at construction, so
+// after a short warm run nothing on the simulation loop allocates. swim
+// exercises the streaming/MLP path, mcf the pointer-chase path whose row
+// spread stresses the burst-group pool.
+func TestSystemSteadyStateAllocs(t *testing.T) {
+	for _, bench := range []string{"swim", "mcf"} {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			prof, err := workload.ByName(bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			factory, err := MechanismByName("Burst_TH")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.WarmupInstructions = 10_000
+			cfg.Instructions = 10_000
+			sys, err := NewSystem(cfg, prof, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sys.MinRetired() < cfg.WarmupInstructions {
+				sys.FastForward()
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				for i := 0; i < 2000; i++ {
+					sys.FastForward()
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("%s steady-state simulation loop allocates: %.1f allocs per 2000 steps", bench, allocs)
 			}
 		})
 	}

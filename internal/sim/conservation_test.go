@@ -147,58 +147,68 @@ func MechanismNamesFactoryForTest(t *testing.T, name string) memctrl.Factory {
 // the cycle-by-cycle reference — bulk occupancy attribution
 // (SampleOccupancySkipped) must split across interval boundaries exactly
 // as per-cycle sampling would, and skipping must never reorder or drop an
-// event.
+// event. Parameterized over front-end behavior: swim keeps the front end
+// busy (skips rare, windows short), while mcf's pointer chase and apsi's
+// 6% memory intensity produce the long front-end-idle stretches where the
+// precise CPU.NextEventCycle bound lets skips and TickWindow batches run
+// longest — the paths most likely to misattribute a bulk-accounted cycle.
 func TestTraceSkipEquivalence(t *testing.T) {
-	run := func(disableSkip bool, workers int) *trace.Tracer {
-		prof, err := workload.ByName("swim")
-		if err != nil {
-			t.Fatal(err)
-		}
-		factory, err := MechanismByName("Burst_TH")
-		if err != nil {
-			t.Fatal(err)
-		}
-		cfg := DefaultConfig()
-		cfg.WarmupInstructions = 5_000
-		cfg.Instructions = 20_000
-		cfg.Workers = workers
-		sys, err := NewSystem(cfg, prof, factory)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sys.DisableSkip = disableSkip
-		tr := trace.New(1<<20, 512)
-		sys.AttachTracer(tr)
-		if _, err := runSystem(cfg, sys, "swim"); err != nil {
-			t.Fatal(err)
-		}
-		return tr
-	}
-	ref := run(true, 0)
-	compare := func(label string, got *trace.Tracer) {
-		t.Helper()
-		re, se := ref.Events(), got.Events()
-		if len(re) != len(se) {
-			t.Fatalf("%s: event counts differ: stepped %d vs %d", label, len(re), len(se))
-		}
-		for i := range re {
-			if re[i] != se[i] {
-				t.Fatalf("%s: event %d differs:\nstepped %+v\ngot     %+v", label, i, re[i], se[i])
+	for _, bench := range []string{"swim", "mcf", "apsi"} {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			run := func(disableSkip bool, workers int) *trace.Tracer {
+				prof, err := workload.ByName(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				factory, err := MechanismByName("Burst_TH")
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := DefaultConfig()
+				cfg.WarmupInstructions = 5_000
+				cfg.Instructions = 20_000
+				cfg.Workers = workers
+				sys, err := NewSystem(cfg, prof, factory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.DisableSkip = disableSkip
+				tr := trace.New(1<<20, 512)
+				sys.AttachTracer(tr)
+				if _, err := runSystem(cfg, sys, bench); err != nil {
+					t.Fatal(err)
+				}
+				return tr
 			}
-		}
-		ri, si := ref.Intervals(), got.Intervals()
-		if len(ri) != len(si) {
-			t.Fatalf("%s: interval counts differ: stepped %d vs %d", label, len(ri), len(si))
-		}
-		for i := range ri {
-			if ri[i] != si[i] {
-				t.Fatalf("%s: interval %d differs:\nstepped %+v\ngot     %+v", label, i, ri[i], si[i])
+			ref := run(true, 0)
+			compare := func(label string, got *trace.Tracer) {
+				t.Helper()
+				re, se := ref.Events(), got.Events()
+				if len(re) != len(se) {
+					t.Fatalf("%s: event counts differ: stepped %d vs %d", label, len(re), len(se))
+				}
+				for i := range re {
+					if re[i] != se[i] {
+						t.Fatalf("%s: event %d differs:\nstepped %+v\ngot     %+v", label, i, re[i], se[i])
+					}
+				}
+				ri, si := ref.Intervals(), got.Intervals()
+				if len(ri) != len(si) {
+					t.Fatalf("%s: interval counts differ: stepped %d vs %d", label, len(ri), len(si))
+				}
+				for i := range ri {
+					if ri[i] != si[i] {
+						t.Fatalf("%s: interval %d differs:\nstepped %+v\ngot     %+v", label, i, ri[i], si[i])
+					}
+				}
 			}
-		}
+			compare("skipping", run(false, 0))
+			// The skip engine and the worker pool compose: a skipping
+			// parallel run must still match the stepped serial reference
+			// event for event.
+			compare("workers=2 stepped", run(true, 2))
+			compare("workers=2 skipping", run(false, 2))
+		})
 	}
-	compare("skipping", run(false, 0))
-	// The skip engine and the worker pool compose: a skipping parallel run
-	// must still match the stepped serial reference event for event.
-	compare("workers=2 stepped", run(true, 2))
-	compare("workers=2 skipping", run(false, 2))
 }

@@ -19,10 +19,11 @@ type completionRec struct {
 }
 
 // fuzzBarrierRun drives one controller — serial for workers <= 1 — through
-// a deterministic randomized schedule of submission bursts and
-// horizon-computed skip windows, then drains it. It returns the OnComplete
-// sequence, the tracer, and the controller for stats/conservation checks.
-func fuzzBarrierRun(t *testing.T, workers, channels int, seed uint64, subs int, skipMask uint8) ([]completionRec, *trace.Tracer, *memctrl.Controller) {
+// a deterministic randomized schedule of submission bursts,
+// horizon-computed skip jumps and randomized TickWindow batches, then
+// drains it. It returns the OnComplete sequence, the tracer, and the
+// controller for stats/conservation checks.
+func fuzzBarrierRun(t *testing.T, workers, channels int, seed uint64, subs int, skipMask, winMask uint8) ([]completionRec, *trace.Tracer, *memctrl.Controller) {
 	t.Helper()
 	factory, err := MechanismByName("Burst_TH")
 	if err != nil {
@@ -78,6 +79,19 @@ func fuzzBarrierRun(t *testing.T, workers, channels int, seed uint64, subs int, 
 				cyc += k
 			}
 		}
+		// Fuzz-selected cycles batch a skip window: a randomized end
+		// anywhere inside the controller's completion-free guarantee,
+		// exercising TickWindow (and its once-per-window merge) with
+		// adversarial bounds — including 1-cycle stubs — that the
+		// production tryWindow path would never pick.
+		if winMask>>(cyc%8)&1 == 1 {
+			from := cyc + 1
+			if to := ctrl.WindowBound(from); to > from {
+				wTo := from + 1 + uint64(rng.Intn(int(to-from)))
+				ctrl.TickWindow(from, wTo)
+				cyc = wTo - 1
+			}
+		}
 	}
 	for i := 0; !ctrl.Drained(); i++ {
 		if i > 200_000 {
@@ -91,22 +105,22 @@ func fuzzBarrierRun(t *testing.T, workers, channels int, seed uint64, subs int, 
 
 // FuzzParallelBarrier differentially fuzzes the barrier coordinator against
 // the serial reference: randomized channel counts, worker counts,
-// completion burst shapes and skip-window placement must never change the
-// OnComplete sequence, the trace stream, the interval metrics, or the
-// aggregate statistics — and the parallel stream must independently satisfy
-// the conservation oracle.
+// completion burst shapes, skip-jump placement and TickWindow batches with
+// randomized window bounds must never change the OnComplete sequence, the
+// trace stream, the interval metrics, or the aggregate statistics — and
+// the parallel stream must independently satisfy the conservation oracle.
 func FuzzParallelBarrier(f *testing.F) {
-	f.Add(uint64(1), uint8(1), uint8(2), uint16(300), uint8(0x5a))
-	f.Add(uint64(7), uint8(2), uint8(4), uint16(800), uint8(0xff))
-	f.Add(uint64(42), uint8(0), uint8(3), uint16(120), uint8(0x00))
-	f.Add(uint64(0xdead), uint8(2), uint8(2), uint16(1500), uint8(0x11))
-	f.Fuzz(func(t *testing.T, seed uint64, chExp, workers uint8, subs uint16, skipMask uint8) {
+	f.Add(uint64(1), uint8(1), uint8(2), uint16(300), uint8(0x5a), uint8(0xff))
+	f.Add(uint64(7), uint8(2), uint8(4), uint16(800), uint8(0xff), uint8(0x33))
+	f.Add(uint64(42), uint8(0), uint8(3), uint16(120), uint8(0x00), uint8(0xaa))
+	f.Add(uint64(0xdead), uint8(2), uint8(2), uint16(1500), uint8(0x11), uint8(0x00))
+	f.Fuzz(func(t *testing.T, seed uint64, chExp, workers uint8, subs uint16, skipMask, winMask uint8) {
 		channels := 1 << (chExp % 3) // 1, 2 or 4 channels
 		w := int(workers%4) + 1      // 1..4 workers
 		n := 50 + int(subs%1200)
 
-		refRecs, refTr, refCtrl := fuzzBarrierRun(t, 0, channels, seed, n, skipMask)
-		gotRecs, gotTr, gotCtrl := fuzzBarrierRun(t, w, channels, seed, n, skipMask)
+		refRecs, refTr, refCtrl := fuzzBarrierRun(t, 0, channels, seed, n, skipMask, winMask)
+		gotRecs, gotTr, gotCtrl := fuzzBarrierRun(t, w, channels, seed, n, skipMask, winMask)
 
 		if len(refRecs) != len(gotRecs) {
 			t.Fatalf("completion counts differ: serial %d vs workers=%d %d", len(refRecs), w, len(gotRecs))

@@ -187,6 +187,11 @@ type System struct {
 	// resumes skipping from the landing cycle.
 	skipWheel *eventq.Wheel
 
+	// memCycle is the machine clock, advanced only by the coordinating
+	// goroutine between barrier rounds (StepMemCycle / TrySkip /
+	// tryWindow); shards never touch it.
+	//
+	//burstmem:shared machine clock: written only by the coordinator between barrier rounds
 	memCycle     uint64
 	measureStart uint64 // memCycle when the measurement window opened
 }
@@ -197,6 +202,12 @@ const (
 	skipSrcFSB
 	numSkipSrcs
 )
+
+// minWindowCycles is the shortest span tryWindow batches into a TickWindow
+// call. Below this a window saves no barrier rounds over per-cycle ticking
+// (a 1-cycle window is one round either way), so short spans stay on the
+// plain path and windows only open where they amortize.
+const minWindowCycles = 4
 
 // TrySkip passes controller/FSB hints straight into Wheel.Schedule, which
 // treats NoDeadline as "unschedule"; the sentinels must therefore agree
@@ -291,11 +302,25 @@ func (s *System) Workers() int { return s.Ctrl.Workers() }
 // RunGenerator and RunSystem close the system when they return.
 func (s *System) Close() { s.Ctrl.SetWorkers(0) }
 
-// StepMemCycle advances the machine one memory cycle.
+// StepMemCycle advances the machine one memory cycle. When every CPU-clock
+// component reports (via its NextEventCycle bound) that all R subcycles of
+// this memory cycle are inert — pure clock/stall accounting — the R-step
+// Tick loop collapses into one SkipCycles(R) per component. This is a
+// memory-cycle-local skip: unlike TrySkip it applies even while the memory
+// system is busy, which is exactly where FSB-bound phases spend their time.
 func (s *System) StepMemCycle() {
 	s.memCycle++
 	s.Ctrl.Tick(s.memCycle)
 	s.FSB.Tick(s.memCycle)
+	r := uint64(s.Cfg.CPUCyclesPerMemCycle)
+	if !s.DisableSkip && s.cpuDomainInertFor(r) {
+		s.L2.SkipCycles(r)
+		for c := range s.CPUs {
+			s.L1Ds[c].SkipCycles(r)
+			s.CPUs[c].SkipCycles(r)
+		}
+		return
+	}
 	for i := 0; i < s.Cfg.CPUCyclesPerMemCycle; i++ {
 		s.L2.Tick()
 		for c := range s.CPUs {
@@ -303,6 +328,20 @@ func (s *System) StepMemCycle() {
 			s.CPUs[c].Tick()
 		}
 	}
+}
+
+// cpuDomainInertFor reports whether every CPU-clock component's next n
+// Ticks are provably equivalent to SkipCycles(n).
+func (s *System) cpuDomainInertFor(n uint64) bool {
+	if !s.L2.InertFor(n) {
+		return false
+	}
+	for c := range s.CPUs {
+		if !s.L1Ds[c].InertFor(n) || !s.CPUs[c].InertFor(n) {
+			return false
+		}
+	}
+	return true
 }
 
 // FastForward advances one memory cycle like StepMemCycle, then — when the
@@ -348,7 +387,7 @@ func (s *System) TrySkip() uint64 {
 	s.skipWheel.Schedule(skipSrcFSB, s.FSB.NextEventCycle(s.memCycle))
 	next, ok := s.skipWheel.PeekMin()
 	if !ok || next <= s.memCycle+1 {
-		return 0
+		return s.tryWindow()
 	}
 	// Land one cycle before the event so the event cycle itself is
 	// stepped in full.
@@ -362,6 +401,43 @@ func (s *System) TrySkip() uint64 {
 		s.CPUs[c].SkipCycles(n)
 	}
 	s.memCycle += k
+	return k
+}
+
+// tryWindow is TrySkip's fallback when the memory controller itself is
+// busy (so a pure skip is impossible) but the CPU domain is asleep and the
+// FSB quiet: the controller ticks through a completion-free window
+// [memCycle+1, B) in one TickWindow batch — one barrier crossing on the
+// parallel path instead of one per cycle — while the FSB and CPU domain
+// bulk-account the same cycles exactly as a pure skip would. B is bounded
+// by the controller's window guarantee (no completion can fire before it)
+// and the FSB's own next-event cycle (no response delivery or submission
+// before it), so no cross-domain interaction is jumped: the cycle B itself
+// is stepped in full by the next StepMemCycle.
+//
+//burstmem:hotpath
+func (s *System) tryWindow() uint64 {
+	from := s.memCycle + 1
+	to := s.Ctrl.WindowBound(from)
+	if fsbNext := s.FSB.NextEventCycle(s.memCycle); fsbNext < to {
+		to = fsbNext
+	}
+	if to < from+minWindowCycles {
+		// A short window amortizes nothing: a 1-cycle TickWindow costs
+		// exactly one barrier round, the same as a plain Tick. Let the
+		// normal per-cycle path handle it.
+		return 0
+	}
+	s.Ctrl.TickWindow(from, to)
+	k := to - from
+	s.FSB.AccountSkipped(k)
+	n := k * uint64(s.Cfg.CPUCyclesPerMemCycle)
+	s.L2.SkipCycles(n)
+	for c := range s.CPUs {
+		s.L1Ds[c].SkipCycles(n)
+		s.CPUs[c].SkipCycles(n)
+	}
+	s.memCycle = to - 1
 	return k
 }
 

@@ -137,8 +137,11 @@ type Tracer struct {
 	// ring, and no metrics fold — everything is deferred to the Adopt
 	// replay into a real tracer. Used by the parallel controller to give
 	// each channel shard a private emission buffer for one barrier round.
+	// adopted is the AdoptUpTo cursor: events before it have already been
+	// replayed into the adopting tracer mid-window.
 	capturing bool
 	capture   []Event
+	adopted   int
 }
 
 // New builds a tracer with capacity for events ring entries and, when
@@ -171,10 +174,37 @@ func (t *Tracer) Adopt(src *Tracer) {
 	if t == nil || src == nil {
 		return
 	}
-	for i := range src.capture {
+	for i := src.adopted; i < len(src.capture); i++ {
 		t.replay(src.capture[i])
 	}
 	src.capture = src.capture[:0]
+	src.adopted = 0
+}
+
+// AdoptUpTo replays src's captured events stamped at or before cycle into
+// t, leaving later events buffered (a cursor remembers progress). Captures
+// are emitted in nondecreasing cycle order per shard, so the window merge
+// can interleave per-cycle replays across channels with the controller's
+// per-cycle sampling — reproducing the serial path's exact interval folds.
+// Once every buffered event is consumed the capture resets for the next
+// round; a window merge that reaches its last cycle therefore leaves the
+// capture in the same state plain Adopt would.
+//
+//burstmem:hotpath
+func (t *Tracer) AdoptUpTo(src *Tracer, cycle uint64) {
+	if t == nil || src == nil {
+		return
+	}
+	i := src.adopted
+	for i < len(src.capture) && src.capture[i].Cycle <= cycle {
+		t.replay(src.capture[i])
+		i++
+	}
+	src.adopted = i
+	if i == len(src.capture) {
+		src.capture = src.capture[:0]
+		src.adopted = 0
+	}
 }
 
 // replay re-dispatches one captured event through the same ring append and

@@ -72,23 +72,33 @@ BEGIN { print "["; first = 1 }
 }
 /^BenchmarkParallelSim\// {
     # Channel-shard worker-pool cases land as parallel/<bench>/<mech>/workersN;
-    # the 4-worker-to-serial simcycles/s ratio is emitted at END as
-    # parallel_scaling_efficiency (on a 1-CPU host this measures barrier
-    # overhead, not speedup).
+    # the 4-worker-to-serial simcycles/s ratio on the swim case is emitted at
+    # END as parallel_scaling_efficiency (on a 1-CPU host this measures
+    # barrier overhead, not speedup). barrier_crossings_per_kcycle counts
+    # pool barrier rounds per thousand simulated cycles (one per ticked
+    # cycle without windows); idle_crossings_per_kcycle is the same rate
+    # restricted to the batched skip/window phases, where per-cycle
+    # barriers would cost 1000.
     name = $1
     sub(/^BenchmarkParallelSim\//, "", name)
     sub(/-[0-9]+$/, "", name)
-    nsop = ""; cyc = ""
+    nsop = ""; cyc = ""; bop = ""; aop = ""; bxk = ""; ixk = ""
     for (i = 2; i <= NF; i++) {
         if ($(i+1) == "ns/op") nsop = $i
         if ($(i+1) == "simcycles/s") cyc = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+        if ($(i+1) == "barrier_crossings_per_kcycle") bxk = $i
+        if ($(i+1) == "idle_crossings_per_kcycle") ixk = $i
     }
     if (cyc == "") next
-    if (name ~ /\/workers1$/) { base_cyc = cyc }
-    if (name ~ /\/workers4$/) { four_cyc = cyc }
+    if (name ~ /^swim\/.*\/workers1$/) { base_cyc = cyc }
+    if (name ~ /^swim\/.*\/workers4$/) { four_cyc = cyc }
     if (!first) print ","
     first = 0
-    printf "  {\"case\": \"parallel/%s\", \"simcycles_per_sec\": %s, \"ns_per_op\": %s}", name, cyc, nsop
+    printf "  {\"case\": \"parallel/%s\", \"simcycles_per_sec\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"barrier_crossings_per_kcycle\": %s", name, cyc, nsop, bop, aop, bxk
+    if (ixk != "") printf ", \"idle_crossings_per_kcycle\": %s", ixk
+    printf "}"
 }
 /^BenchmarkSimThroughput\// {
     name = $1

@@ -60,6 +60,30 @@ go run ./cmd/memsim -bench swim -mech Burst_TH -n 50000 -warmup 20000 \
     -trace "$tracetmp/trace.json" -trace-interval 500 >/dev/null
 go run ./scripts/jsoncheck "$tracetmp/trace.json"
 
+echo "== serial perf gate (swim/Burst_TH quick smoke vs committed BENCH_sim.json) =="
+# One-iteration smoke of the serial hot path, emitted as JSON (validated by
+# jsoncheck like every other artifact) and compared against the committed
+# baseline: a drop of more than 10% fails the gate. A single iteration is
+# noisy, but the gate is meant to catch structural regressions (an
+# accidental O(n) scan, a lost fast path), not single-digit drift — the
+# committed number itself comes from the full scripts/bench.sh run.
+go test -bench 'BenchmarkSimThroughput/swim/Burst_TH$' -benchtime 1x -run '^$' . \
+    | awk '{ for (i = 2; i <= NF; i++) if ($i == "simcycles/s") v = $(i-1) }
+           END { printf "[\n  {\"case\": \"swim/Burst_TH\", \"simcycles_per_sec\": %d}\n]\n", v }' \
+    > "$tracetmp/perfgate.json"
+go run ./scripts/jsoncheck -bench "$tracetmp/perfgate.json"
+go run ./scripts/jsoncheck -bench BENCH_sim.json
+baseline=$(awk -F'"simcycles_per_sec": ' '/"case": "swim\/Burst_TH"/ { split($2, a, ","); print a[1]; exit }' BENCH_sim.json)
+current=$(awk -F'"simcycles_per_sec": ' '/"case": "swim\/Burst_TH"/ { split($2, a, ","); print a[1]; exit }' "$tracetmp/perfgate.json")
+awk -v cur="$current" -v base="$baseline" 'BEGIN {
+    if (base + 0 <= 0) { print "FAIL: no swim/Burst_TH baseline in BENCH_sim.json"; exit 1 }
+    if (cur + 0 < 0.9 * base) {
+        printf "FAIL: swim/Burst_TH %d simcycles/s is >10%% below committed baseline %d (floor %.0f)\n", cur, base, 0.9 * base
+        exit 1
+    }
+    printf "ok: swim/Burst_TH %d simcycles/s (baseline %d, floor %.0f)\n", cur, base, 0.9 * base
+}'
+
 echo "== throughput bench (short) =="
 scripts/bench.sh -short
 

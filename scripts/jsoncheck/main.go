@@ -1,9 +1,16 @@
-// jsoncheck validates an exported Chrome trace file from CI: the file must
-// be well-formed JSON with a non-empty traceEvents array where every entry
-// carries the mandatory trace_event fields. It is a build-free stand-in for
-// loading the file in ui.perfetto.dev.
+// jsoncheck validates JSON artifacts exported from CI.
+//
+// The default mode checks an exported Chrome trace file: the file must be
+// well-formed JSON with a non-empty traceEvents array where every entry
+// carries the mandatory trace_event fields. It is a build-free stand-in
+// for loading the file in ui.perfetto.dev.
+//
+// With -bench the file is instead checked against the BENCH_sim.json
+// shape: a non-empty JSON array of objects, each carrying a non-empty
+// "case" string (the key every consumer joins on).
 //
 //	go run ./scripts/jsoncheck trace.json
+//	go run ./scripts/jsoncheck -bench BENCH_sim.json
 package main
 
 import (
@@ -13,32 +20,60 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: jsoncheck <trace.json>")
+	args := os.Args[1:]
+	bench := false
+	if len(args) > 0 && args[0] == "-bench" {
+		bench = true
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-bench] <file.json>")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	data, err := os.ReadFile(args[0])
 	fatal(err)
+	if bench {
+		checkBench(args[0], data)
+		return
+	}
+	checkTrace(args[0], data)
+}
+
+func checkTrace(path string, data []byte) {
 	var doc struct {
 		TraceEvents []map[string]any `json:"traceEvents"`
 	}
 	fatal(json.Unmarshal(data, &doc))
 	if len(doc.TraceEvents) == 0 {
-		fatal(fmt.Errorf("%s: empty traceEvents", os.Args[1]))
+		fatal(fmt.Errorf("%s: empty traceEvents", path))
 	}
 	for i, ev := range doc.TraceEvents {
 		ph, _ := ev["ph"].(string)
 		if ph == "" {
-			fatal(fmt.Errorf("%s: event %d missing ph", os.Args[1], i))
+			fatal(fmt.Errorf("%s: event %d missing ph", path, i))
 		}
 		if _, ok := ev["pid"]; !ok {
-			fatal(fmt.Errorf("%s: event %d missing pid", os.Args[1], i))
+			fatal(fmt.Errorf("%s: event %d missing pid", path, i))
 		}
 		if _, ok := ev["ts"]; ph != "M" && !ok {
-			fatal(fmt.Errorf("%s: event %d (ph %q) missing ts", os.Args[1], i, ph))
+			fatal(fmt.Errorf("%s: event %d (ph %q) missing ts", path, i, ph))
 		}
 	}
-	fmt.Printf("%s: %d trace events OK\n", os.Args[1], len(doc.TraceEvents))
+	fmt.Printf("%s: %d trace events OK\n", path, len(doc.TraceEvents))
+}
+
+func checkBench(path string, data []byte) {
+	var entries []map[string]any
+	fatal(json.Unmarshal(data, &entries))
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("%s: empty benchmark entry array", path))
+	}
+	for i, e := range entries {
+		if name, _ := e["case"].(string); name == "" {
+			fatal(fmt.Errorf("%s: entry %d missing case", path, i))
+		}
+	}
+	fmt.Printf("%s: %d benchmark entries OK\n", path, len(entries))
 }
 
 func fatal(err error) {
