@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,7 +74,8 @@ func TestGoldenDirty(t *testing.T) {
 	}
 	for _, a := range []string{
 		"hotalloc", "nilcheck", "errflow", "idxrange", "lockcheck",
-		"sharestate", "detflow", "goroutcheck",
+		"sharestate", "detflow", "goroutcheck", "leakcheck", "ctxflow",
+		"chanflow",
 	} {
 		if !seen[a] {
 			t.Errorf("no %s diagnostic in golden output (analyzers seen: %v)", a, seen)
@@ -113,4 +116,66 @@ func atoi(t *testing.T, s string) int {
 		n = n*10 + int(c-'0')
 	}
 	return n
+}
+
+// TestGoldenJSON pins the -json machine contract against the same dirty
+// corpus: the array carries exactly the text-mode findings (same order,
+// same positions, relativized paths) as {file, line, col, analyzer,
+// message, chain} objects and nothing else — DisallowUnknownFields makes
+// a silently added field a test failure, so the schema scripts parse
+// cannot drift without showing up here. Chain must be populated on the
+// interprocedural exit-past-defer finding and omitted elsewhere.
+func TestGoldenJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-json",
+		"./testdata/src/dirty",
+		"./testdata/src/helpers",
+		"./testdata/src/internal/dram",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d on a dirty tree, want 1 (stderr: %s)", code, stderr.String())
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(stdout.Bytes()))
+	dec.DisallowUnknownFields()
+	var got []jsonDiag
+	if err := dec.Decode(&got); err != nil {
+		t.Fatalf("output is not a jsonDiag array: %v\n%s", err, stdout.String())
+	}
+
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(golden), "\n"), "\n")
+	if len(got) != len(lines) {
+		t.Fatalf("%d JSON findings, want %d (one per golden text line)", len(got), len(lines))
+	}
+
+	chains := 0
+	for i, d := range got {
+		if filepath.IsAbs(d.File) {
+			t.Errorf("finding %d: path %q not relativized", i, d.File)
+		}
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("finding %d: non-positive position %d:%d", i, d.Line, d.Col)
+		}
+		rendered := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		if rendered != lines[i] {
+			t.Errorf("finding %d diverges from text mode:\n json: %s\n text: %s", i, rendered, lines[i])
+		}
+		if len(d.Chain) > 0 {
+			chains++
+			if d.Analyzer != "leakcheck" {
+				t.Errorf("finding %d: unexpected chain on %s: %v", i, d.Analyzer, d.Chain)
+			}
+			if d.Chain[0] != "os.Exit" {
+				t.Errorf("finding %d: chain should start at the exiting callee, got %v", i, d.Chain)
+			}
+		}
+	}
+	if chains == 0 {
+		t.Error("no finding carried a chain; the exit-past-defer corpus case should")
+	}
 }

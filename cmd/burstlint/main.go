@@ -18,20 +18,28 @@
 //	sharestate   hot-path-reachable state must carry ownership annotations
 //	detflow      nondeterminism reached through out-of-scope callees
 //	goroutcheck  loop capture, WaitGroup balance, unguarded shared writes
+//	leakcheck    resources released on every path; no exit past a pending defer
+//	ctxflow      contexts flow caller to callee; CancelFuncs always run
+//	chanflow     channel send/recv/close protocol over the points-to solution
 //
 // nilcheck/errflow/idxrange/lockcheck run a worklist dataflow solver over
 // per-function control flow graphs (internal/analysis/cfg,
 // internal/analysis/dataflow); detlint/hotalloc/exhaustive are single-pass
-// AST walks. The last three are the interprocedural tier: they run once
-// over the whole loaded program on top of a CHA call graph
-// (internal/analysis/callgraph) and per-function effect summaries
-// (internal/analysis/summary), built once and shared through the program's
-// result cache — `-timing` prints how long that shared build took.
+// AST walks. The rest are the interprocedural tier: they run once over
+// the whole loaded program on top of a CHA call graph
+// (internal/analysis/callgraph), per-function effect summaries
+// (internal/analysis/summary), and — for sharestate's ownership audit and
+// chanflow — an Andersen points-to solution (internal/analysis/pointsto),
+// each built once and shared through the program's result cache —
+// `-timing` prints how long those shared builds took.
 //
 // Output is one diagnostic per line, `file:line:col: analyzer: message`,
 // sorted by file, line, then analyzer name; paths are shown relative to
-// the working directory when possible. Exit status is 1 when diagnostics
-// survive, 2 on load errors, 0 on a clean tree.
+// the working directory when possible. `-json` emits the same findings as
+// a JSON array of {file, line, col, analyzer, message, chain} objects —
+// chain being the evidence trail (call path, alias chain) of
+// interprocedural findings. Exit status is 1 when diagnostics survive, 2
+// on load errors, 0 on a clean tree.
 //
 // Intentional exceptions are annotated in the source as
 // `//lint:ignore <analyzer> <reason>` on (or directly above) the flagged
@@ -39,6 +47,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +57,8 @@ import (
 	"strings"
 
 	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/chanflow"
+	"burstmem/internal/analysis/ctxflow"
 	"burstmem/internal/analysis/detflow"
 	"burstmem/internal/analysis/detlint"
 	"burstmem/internal/analysis/errflow"
@@ -55,6 +66,7 @@ import (
 	"burstmem/internal/analysis/goroutcheck"
 	"burstmem/internal/analysis/hotalloc"
 	"burstmem/internal/analysis/idxrange"
+	"burstmem/internal/analysis/leakcheck"
 	"burstmem/internal/analysis/lockcheck"
 	"burstmem/internal/analysis/nilcheck"
 	"burstmem/internal/analysis/sharestate"
@@ -73,6 +85,9 @@ var analyzers = []*analysis.Analyzer{
 	sharestate.Analyzer,
 	detflow.Analyzer,
 	goroutcheck.Analyzer,
+	leakcheck.Analyzer,
+	ctxflow.Analyzer,
+	chanflow.Analyzer,
 }
 
 func main() {
@@ -84,9 +99,10 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("burstlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	timing := fs.Bool("timing", false, "print interprocedural build times (callgraph, summary) to stderr")
+	timing := fs.Bool("timing", false, "print interprocedural build times (callgraph, summary, pointsto) to stderr")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file, line, col, analyzer, message, chain} objects")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: burstlint [-timing] [packages]\n\nruns the burstmem analyzers (detlint, hotalloc, exhaustive, nilcheck,\nerrflow, idxrange, lockcheck, sharestate, detflow, goroutcheck) over the\npackage patterns (default ./...)\n")
+		fmt.Fprintf(stderr, "usage: burstlint [-timing] [-json] [packages]\n\nruns the burstmem analyzers (detlint, hotalloc, exhaustive, nilcheck,\nerrflow, idxrange, lockcheck, sharestate, detflow, goroutcheck,\nleakcheck, ctxflow, chanflow) over the package patterns (default ./...)\n")
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -116,14 +132,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		cwd = "" // keep absolute paths rather than guess
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, relativize(cwd, d.String()))
+	if *jsonOut {
+		if err := writeJSON(stdout, cwd, diags); err != nil {
+			fmt.Fprintln(stderr, "burstlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, relativize(cwd, d.String()))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "burstlint: %d issue(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the -json wire form of one finding. The field set is the
+// machine contract scripts build on; the golden schema test pins it.
+type jsonDiag struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
+// writeJSON renders the diagnostics as one indented JSON array (an empty
+// run prints []), with file paths relativized like the text form.
+func writeJSON(w io.Writer, cwd string, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     relativize(cwd, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Chain:    d.Chain,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // relativize rewrites a leading absolute file path to be relative to the

@@ -4,8 +4,10 @@
 package dirty
 
 import (
+	"context"
 	"os"
 	"sync"
+	"time"
 
 	"burstmem/internal/addrmap"
 	"burstmem/internal/trace"
@@ -53,4 +55,37 @@ func leakyLock(s *state) int {
 	n := s.n
 	s.mu.Unlock()
 	return n
+}
+
+// forgottenTicker stops the ticker on only one path; the early return
+// leaks it (leakcheck).
+func forgottenTicker(s *state) {
+	t := time.NewTicker(time.Second)
+	if s.n == 0 {
+		return
+	}
+	t.Stop()
+}
+
+// rootedCtx mints a root context in library code instead of accepting
+// one from the caller (ctxflow).
+func rootedCtx() context.Context {
+	return context.Background()
+}
+
+// deadSends makes a channel nothing ever receives from: once the buffer
+// fills, every send blocks forever (chanflow).
+func deadSends(n int) {
+	ch := make(chan int, 1)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+}
+
+// exitPastDefer calls os.Exit while a cleanup is still deferred; the
+// finding carries the call chain as structured evidence (leakcheck).
+func exitPastDefer() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	os.Exit(1)
 }

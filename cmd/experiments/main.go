@@ -81,8 +81,7 @@ func main() {
 	}
 	run, ok := exps[*flagExp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *flagExp)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown experiment %q", *flagExp))
 	}
 	run()
 }
@@ -625,6 +624,10 @@ func maxInt(a, b int) int { return max(a, b) }
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		// Deferred cleanups do not run across os.Exit; finalize any
+		// in-flight profile so -cpuprofile is not truncated by a fatal
+		// error.
+		profiling.Stop()
 		os.Exit(1)
 	}
 }

@@ -135,6 +135,10 @@ func maxInt(a, b int) int {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
+		// Deferred cleanups do not run across os.Exit; finalize any
+		// in-flight profile so -cpuprofile is not truncated by a fatal
+		// error.
+		profiling.Stop()
 		os.Exit(1)
 	}
 }

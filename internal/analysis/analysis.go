@@ -63,6 +63,11 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Chain is the evidence trail behind interprocedural findings — a
+	// call path, an alias chain — one hop per element, outermost first.
+	// The text renderer leaves it to the message; burstlint -json carries
+	// it as a structured field.
+	Chain []string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -145,6 +150,16 @@ func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Prog.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportChainf records a diagnostic carrying an evidence chain.
+func (p *ProgramPass) ReportChainf(pos token.Pos, chain []string, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 

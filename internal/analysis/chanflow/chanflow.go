@@ -1,0 +1,252 @@
+// Package chanflow audits channel life cycles over the points-to
+// solution: every channel allocation site gets its send, receive, and
+// close sites collected program-wide (through fields, parameters, and
+// goroutines — wherever the solver proves the channel flows), and the
+// shape of that set is checked against the ownership discipline the
+// parallel simulator relies on.
+//
+// Findings, per make(chan) site:
+//
+//   - sent on but never received from: once the buffer fills every sender
+//     blocks forever — a silent deadlock parked on a goroutine;
+//   - received from but never sent on or closed: every receiver blocks
+//     forever (a close with no sends is fine — that is the done-channel
+//     idiom);
+//   - more than one close site: a second close panics at runtime;
+//   - closed by a non-owner: close is the sender's privilege. A close in
+//     a function that never sends on the channel, did not allocate it
+//     (nor is a literal spawned by the allocator), and is not a method of
+//     a type whose fields hold the channel, is a receiver reaching into
+//     the protocol — a recipe for "send on closed channel" panics.
+//
+// Channels that escape to unknown code (EscapesUnknown) are exempt: the
+// solver cannot see the counterpart sites. Suppress an acknowledged
+// finding with //lint:ignore chanflow <reason>.
+package chanflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/callgraph"
+	"burstmem/internal/analysis/pointsto"
+)
+
+// Analyzer is the chanflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "chanflow",
+	Doc:        "channels must have live send/recv counterparts, a single close, and sender-side closing",
+	RunProgram: run,
+}
+
+// site is one channel operation.
+type site struct {
+	fn  *callgraph.Func
+	pos token.Pos
+}
+
+// chanSites are the program-wide operations on one abstract channel.
+type chanSites struct {
+	sends, recvs, closes []site
+}
+
+func run(pass *analysis.ProgramPass) {
+	g := callgraph.Build(pass.Prog)
+	res := pointsto.Of(pass.Prog)
+
+	sites := map[pointsto.ObjID]*chanSites{}
+	at := func(objs []*pointsto.Object) []*chanSites {
+		var out []*chanSites
+		for _, o := range objs {
+			if o.Kind != pointsto.KindMake || !isChan(o.Type) {
+				continue
+			}
+			s := sites[o.ID]
+			if s == nil {
+				s = &chanSites{}
+				sites[o.ID] = s
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+
+	for _, fn := range g.Source {
+		body := fn.Body()
+		if body == nil {
+			continue
+		}
+		info := fn.Pkg.TypesInfo
+		self := fn.Lit
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit != self {
+				return false // its own graph node
+			}
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				for _, s := range at(chanObjs(res, info, n.Chan)) {
+					s.sends = append(s.sends, site{fn, n.Pos()})
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					for _, s := range at(chanObjs(res, info, n.X)) {
+						s.recvs = append(s.recvs, site{fn, n.Pos()})
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isCh := tv.Type.Underlying().(*types.Chan); isCh {
+						for _, s := range at(chanObjs(res, info, n.X)) {
+							s.recvs = append(s.recvs, site{fn, n.Pos()})
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) == 1 {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+						for _, s := range at(chanObjs(res, info, n.Args[0])) {
+							s.closes = append(s.closes, site{fn, n.Pos()})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	holders := holderTypes(res, sites)
+
+	// Objects in ID order keeps the report deterministic.
+	for _, obj := range res.Objects {
+		s := sites[obj.ID]
+		if s == nil || obj.EscapesUnknown {
+			continue
+		}
+		if len(s.sends) > 0 && len(s.recvs) == 0 {
+			pass.Reportf(obj.Pos,
+				"channel made here is sent on (%s) but never received from: once the buffer fills every send blocks forever",
+				where(pass, s.sends[0]))
+		}
+		if len(s.recvs) > 0 && len(s.sends) == 0 && len(s.closes) == 0 {
+			pass.Reportf(obj.Pos,
+				"channel made here is received from (%s) but never sent on or closed: every receive blocks forever",
+				where(pass, s.recvs[0]))
+		}
+		if len(s.closes) >= 2 {
+			pass.Reportf(s.closes[len(s.closes)-1].pos,
+				"channel made at %s may be closed more than once (%d close sites, first at %s): a second close panics",
+				pos(pass, obj.Pos), len(s.closes), pos(pass, s.closes[0].pos))
+		}
+		for _, c := range s.closes {
+			if ownsClose(c.fn, obj, s, holders) {
+				continue
+			}
+			pass.Reportf(c.pos,
+				"channel made at %s is closed by %s, which never sends on it and does not own it: closing is the sender-owner's job",
+				pos(pass, obj.Pos), c.fn.Name)
+		}
+	}
+}
+
+// chanObjs resolves a channel expression to abstract objects, falling
+// back to the variable's points-to set for identifiers the constraint
+// generator did not record in expression position.
+func chanObjs(res *pointsto.Result, info *types.Info, e ast.Expr) []*pointsto.Object {
+	if objs := res.ExprObjects(e); len(objs) > 0 {
+		return objs
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := info.ObjectOf(id).(*types.Var); ok {
+			return res.PointsTo(v)
+		}
+	}
+	return nil
+}
+
+// holderTypes maps each tracked channel object to the type keys of the
+// objects holding it in a field — the types whose methods count as
+// owners.
+func holderTypes(res *pointsto.Result, sites map[pointsto.ObjID]*chanSites) map[pointsto.ObjID]map[string]bool {
+	holders := map[pointsto.ObjID]map[string]bool{}
+	for _, obj := range res.Objects {
+		if obj.TypeKey == "" {
+			continue
+		}
+		for _, path := range res.Fields(obj) {
+			for _, p := range res.FieldPointees(obj, path) {
+				if _, tracked := sites[p.ID]; !tracked {
+					continue
+				}
+				h := holders[p.ID]
+				if h == nil {
+					h = map[string]bool{}
+					holders[p.ID] = h
+				}
+				h[obj.TypeKey] = true
+			}
+		}
+	}
+	return holders
+}
+
+// ownsClose reports whether the closing function may legitimately close
+// the channel: it sends on it, allocated it (or is a literal spawned
+// inside the allocator), or is a method of a type holding the channel.
+func ownsClose(fn *callgraph.Func, obj *pointsto.Object, s *chanSites, holders map[pointsto.ObjID]map[string]bool) bool {
+	for _, snd := range s.sends {
+		if snd.fn == fn {
+			return true
+		}
+	}
+	for f := fn; f != nil; f = f.Parent {
+		if f.ID == obj.Fn {
+			return true
+		}
+	}
+	if rk := recvTypeKey(fn); rk != "" && holders[obj.ID][rk] {
+		return true
+	}
+	return false
+}
+
+// recvTypeKey returns "pkgpath.Type" for a method's receiver type, or "".
+func recvTypeKey(fn *callgraph.Func) string {
+	if fn.Decl == nil || fn.Decl.Recv == nil || len(fn.Decl.Recv.List) == 0 {
+		return ""
+	}
+	tv, ok := fn.Pkg.TypesInfo.Types[fn.Decl.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func where(pass *analysis.ProgramPass, s site) string {
+	return "in " + s.fn.Name + " at " + pos(pass, s.pos)
+}
+
+func pos(pass *analysis.ProgramPass, p token.Pos) string {
+	position := pass.Prog.Fset.Position(p)
+	return position.Filename[strings.LastIndexByte(position.Filename, '/')+1:] +
+		":" + strconv.Itoa(position.Line)
+}

@@ -1,0 +1,12 @@
+package chanflow_test
+
+import (
+	"testing"
+
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/chanflow"
+)
+
+func TestChanflow(t *testing.T) {
+	analysistest.Run(t, chanflow.Analyzer, "./testdata/src/chans")
+}

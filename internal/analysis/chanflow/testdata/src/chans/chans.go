@@ -1,0 +1,107 @@
+// Package chans is the chanflow corpus: channels with missing
+// counterparts, double closes, receiver-side closes, and the idioms that
+// must stay quiet.
+package chans
+
+// sendNoRecv: every send eventually blocks.
+func sendNoRecv() {
+	ch := make(chan int, 1) // want `channel made here is sent on \(in chans\.sendNoRecv at chans\.go:\d+\) but never received from`
+	ch <- 1
+}
+
+// recvNoSend: the receive blocks forever.
+func recvNoSend() {
+	ch := make(chan int) // want `channel made here is received from \(in chans\.recvNoSend at chans\.go:\d+\) but never sent on or closed`
+	<-ch
+}
+
+// balanced is clean.
+func balanced() {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+}
+
+// doneChannel: close with no sends is the done idiom — clean, including
+// the close from a literal spawned by the allocator.
+func doneChannel() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// doubleClose: two close sites on one allocation.
+func doubleClose(again bool) {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	close(ch)
+	if again {
+		close(ch) // want `may be closed more than once \(2 close sites, first at chans\.go:\d+\): a second close panics`
+	}
+}
+
+// interprocedural: the consumer closing a channel it only receives from.
+func pipeline() {
+	ch := make(chan int)
+	go produce(ch)
+	consumeAndClose(ch)
+}
+
+func produce(ch chan int) {
+	for i := 0; i < 4; i++ {
+		ch <- i
+	}
+}
+
+func consumeAndClose(ch chan int) {
+	<-ch
+	close(ch) // want `is closed by chans\.consumeAndClose, which never sends on it and does not own it: closing is the sender-owner's job`
+}
+
+// Worker holds its channel in a field: methods of the holder are owners,
+// so Shutdown's close is clean even though it never sends.
+type Worker struct {
+	ch chan int
+}
+
+func NewWorker() *Worker {
+	return &Worker{ch: make(chan int, 4)}
+}
+
+func (w *Worker) Run() {
+	w.ch <- 1
+}
+
+func (w *Worker) Drain() int {
+	return <-w.ch
+}
+
+func (w *Worker) Shutdown() {
+	close(w.ch)
+}
+
+func driveWorker() {
+	w := NewWorker()
+	go w.Run()
+	w.Drain()
+	w.Shutdown()
+}
+
+// ranged: a range loop counts as receiving.
+func ranged() {
+	ch := make(chan int, 2)
+	go produce(ch)
+	for range ch {
+	}
+}
+
+// suppressed: an acknowledged finding stays quiet (the report anchors at
+// the make site).
+func suppressed() {
+	//lint:ignore chanflow corpus exercises suppression
+	ch := make(chan int, 1)
+	ch <- 1
+}

@@ -1,0 +1,329 @@
+// Package ctxflow checks context.Context discipline: contexts are created
+// at the process edge and flow down the call tree, and every cancel
+// function is eventually called.
+//
+// Three rules:
+//
+//  1. Root contexts belong in package main. context.Background() (or
+//     context.TODO()) in any other package cuts the function off from the
+//     caller's deadline and cancellation — a library that makes its own
+//     root context cannot be shut down. Accept a ctx parameter instead.
+//
+//  2. A function that already receives a context must pass that context
+//     (or one derived from it) to its callees — reaching for
+//     context.Background() with a caller-provided ctx in scope discards
+//     the caller's cancellation mid-tree. Checked in every package, main
+//     included.
+//
+//  3. A CancelFunc must be called on every path. `ctx, cancel :=
+//     context.WithCancel(...)` leaks the child context's resources (and,
+//     for WithTimeout, its timer) until the parent dies if cancel is
+//     dropped. The check runs over the CFG like leakcheck's: a deferred
+//     cancel or a cancel call on every path is fine, handing the cancel
+//     func away (stored, passed, returned) transfers the obligation, and
+//     assigning it to _ is reported outright.
+//
+// Suppress an acknowledged finding with //lint:ignore ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/callgraph"
+	"burstmem/internal/analysis/cfg"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "ctxflow",
+	Doc:        "contexts must flow from caller to callee (no context.Background() outside main, no dropped CancelFuncs)",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) {
+	g := callgraph.Build(pass.Prog)
+	for _, fn := range g.Source {
+		check(pass, fn)
+	}
+}
+
+func check(pass *analysis.ProgramPass, fn *callgraph.Func) {
+	body := fn.Body()
+	if body == nil {
+		return
+	}
+	info := fn.Pkg.TypesInfo
+
+	// hasCtx: the function (or an enclosing literal's function) receives a
+	// context parameter.
+	hasCtx := ctxParam(fn, info)
+
+	// Rules 1 and 2: root-context creation sites. Nested literals are
+	// separate graph nodes; skip them here.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != fn.Lit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := rootCtxCall(call, info)
+		if !ok {
+			return true
+		}
+		switch {
+		case hasCtx:
+			pass.Reportf(call.Pos(),
+				"%s discards the caller-provided context: derive from the ctx parameter instead", name)
+		case fn.Pkg.Types.Name() != "main":
+			pass.Reportf(call.Pos(),
+				"%s in non-main code cuts this call tree off from the caller's cancellation: accept a context.Context parameter and pass it down", name)
+		}
+		return true
+	})
+
+	// Rule 3: cancel functions must run on every path.
+	checkCancels(pass, fn, info)
+}
+
+// ctxParam reports whether fn — or, for a literal, any enclosing function
+// — has a context.Context parameter in scope.
+func ctxParam(fn *callgraph.Func, info *types.Info) bool {
+	for f := fn; f != nil; f = f.Parent {
+		var ft *ast.FuncType
+		switch {
+		case f.Decl != nil:
+			ft = f.Decl.Type
+		case f.Lit != nil:
+			ft = f.Lit.Type
+		}
+		if ft == nil || ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if tv, ok := info.Types[field.Type]; ok && isContext(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootCtxCall matches context.Background() / context.TODO().
+func rootCtxCall(call *ast.CallExpr, info *types.Info) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	if f, ok := info.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "context" {
+		return "context." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// cancelCall matches context.WithCancel/WithTimeout/WithDeadline and
+// returns the constructor name.
+func cancelCall(e ast.Expr, info *types.Info) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithTimeoutCause", "WithDeadlineCause":
+	default:
+		return "", false
+	}
+	if f, ok := info.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "context" {
+		return "context." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// cancelAcq is one CancelFunc obligation.
+type cancelAcq struct {
+	stmt ast.Node
+	v    types.Object // the cancel variable
+	name string       // constructor display name
+}
+
+func checkCancels(pass *analysis.ProgramPass, fn *callgraph.Func, info *types.Info) {
+	var node ast.Node
+	if fn.Decl != nil {
+		node = fn.Decl
+	} else {
+		node = fn.Lit
+	}
+	g := cfg.New(node)
+
+	var acqs []cancelAcq
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+				continue
+			}
+			name, ok := cancelCall(as.Rhs[0], info)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[1].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if id.Name == "_" {
+				pass.Reportf(as.Pos(),
+					"the CancelFunc of %s is discarded: the derived context (and its timer) lives until the parent is cancelled; keep it and call it", name)
+				continue
+			}
+			if v := info.ObjectOf(id); v != nil {
+				acqs = append(acqs, cancelAcq{stmt: n, v: v, name: name})
+			}
+		}
+	}
+	if len(acqs) == 0 {
+		return
+	}
+	if len(acqs) > 64 {
+		acqs = acqs[:64]
+	}
+
+	// Forward may-drop dataflow, mirroring leakcheck: the bit is set at
+	// the derivation and cleared by a cancel call (direct or deferred) or
+	// a hand-off.
+	out := make([]uint64, len(g.Blocks))
+	transfer := func(b *cfg.Block, in uint64) uint64 {
+		f := in
+		for _, n := range b.Nodes {
+			for i := range acqs {
+				a := &acqs[i]
+				if n == a.stmt {
+					f |= 1 << uint(i)
+					continue
+				}
+				if f&(1<<uint(i)) == 0 {
+					continue
+				}
+				if cancels(n, a.v, info) || handsOff(n, a.v, a.stmt, info) {
+					f &^= 1 << uint(i)
+				}
+			}
+		}
+		return f
+	}
+	rpo := g.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			var in uint64
+			for _, p := range b.Preds {
+				in |= out[p.Index]
+			}
+			o := transfer(b, in)
+			if o != out[b.Index] {
+				out[b.Index] = o
+				changed = true
+			}
+		}
+	}
+	var at uint64
+	for _, p := range g.Exit.Preds {
+		at |= out[p.Index]
+	}
+	for i := range acqs {
+		if at&(1<<uint(i)) != 0 {
+			a := acqs[i]
+			pass.Reportf(a.stmt.Pos(),
+				"%s's CancelFunc %s is not called on every path: defer %s() right after deriving the context",
+				a.name, a.v.Name(), a.v.Name())
+		}
+	}
+}
+
+// cancels reports whether n calls the cancel function (directly or
+// deferred — the cfg defer chain covers every orderly exit).
+func cancels(n ast.Node, v types.Object, info *types.Info) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && info.ObjectOf(id) == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// handsOff reports whether n transfers the cancel obligation: the func
+// value is returned, assigned away, passed as an argument, aggregated, or
+// captured by a literal that is not merely calling it.
+func handsOff(n ast.Node, v types.Object, acqStmt ast.Node, info *types.Info) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if m == acqStmt {
+				return true
+			}
+			for _, e := range append(append([]ast.Expr{}, m.Lhs...), m.Rhs...) {
+				if mentions(e, v, info) {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit:
+			if mentions(m, v, info) {
+				found = true
+			}
+			return false
+		case *ast.CallExpr:
+			for _, arg := range m.Args {
+				if mentions(arg, v, info) {
+					found = true
+				}
+			}
+		case *ast.FuncLit:
+			// A literal that calls cancel keeps the obligation visible (a
+			// deferred closure is the common shape); one that stores or
+			// forwards it hands it off. Either way the literal's own
+			// mention decides.
+			if mentions(m, v, info) {
+				found = true
+			}
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func mentions(n ast.Node, v types.Object, info *types.Info) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContext matches context.Context (including named aliases resolving to
+// it).
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return strings.HasSuffix(t.String(), "context.Context") &&
+		types.IsInterface(t)
+}

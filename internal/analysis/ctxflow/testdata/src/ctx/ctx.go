@@ -1,0 +1,78 @@
+// Package ctx is the ctxflow library corpus: root contexts minted outside
+// main, discarded caller contexts, and cancel functions that do not run
+// on every path.
+package ctx
+
+import (
+	"context"
+	"time"
+)
+
+// rootInLibrary mints its own root context.
+func rootInLibrary() context.Context {
+	return context.Background() // want `context\.Background in non-main code cuts this call tree off from the caller's cancellation`
+}
+
+// todoInLibrary is the same mistake with a different name.
+func todoInLibrary() context.Context {
+	return context.TODO() // want `context\.TODO in non-main code cuts this call tree off`
+}
+
+// discardsCaller has a perfectly good ctx and ignores it.
+func discardsCaller(ctx context.Context) error {
+	return work(context.Background()) // want `context\.Background discards the caller-provided context: derive from the ctx parameter`
+}
+
+// flowsCaller passes the caller's context down — clean.
+func flowsCaller(ctx context.Context) error {
+	return work(ctx)
+}
+
+// derivesCaller derives from the caller's context — clean, and the cancel
+// is deferred.
+func derivesCaller(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+// closureSeesParam: a literal inside a ctx-taking function inherits the
+// parameter's scope.
+func closureSeesParam(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background()) // want `context\.Background discards the caller-provided context`
+	}
+}
+
+// droppedCancel throws the CancelFunc away outright.
+func droppedCancel(ctx context.Context) error {
+	c, _ := context.WithCancel(ctx) // want `the CancelFunc of context\.WithCancel is discarded`
+	return work(c)
+}
+
+// cancelOneBranch calls cancel on one path only.
+func cancelOneBranch(ctx context.Context, fast bool) error {
+	c, cancel := context.WithCancel(ctx) // want `context\.WithCancel's CancelFunc cancel is not called on every path: defer cancel\(\)`
+	if fast {
+		cancel()
+		return nil
+	}
+	return work(c)
+}
+
+// cancelHandedOff transfers the obligation to the caller — clean.
+func cancelHandedOff(ctx context.Context) (context.Context, context.CancelFunc) {
+	c, cancel := context.WithCancel(ctx)
+	return c, cancel
+}
+
+// suppressed: acknowledged root context.
+func suppressed() context.Context {
+	//lint:ignore ctxflow corpus exercises suppression
+	return context.Background()
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

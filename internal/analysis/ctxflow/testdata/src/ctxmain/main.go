@@ -1,0 +1,17 @@
+// The process edge: package main may mint root contexts — but a function
+// that already holds one must still flow it.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // fine: main owns the process edge
+	serve(ctx)
+}
+
+func serve(ctx context.Context) {
+	step(context.Background()) // want `context\.Background discards the caller-provided context`
+	step(ctx)
+}
+
+func step(ctx context.Context) { <-ctx.Done() }

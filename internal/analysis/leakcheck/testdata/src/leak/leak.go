@@ -1,0 +1,141 @@
+// Package leak is the leakcheck corpus: acquisitions that escape without
+// a release on some path, the hand-off shapes that transfer ownership,
+// and exits that discard pending deferred cleanups.
+package leak
+
+import (
+	"os"
+	"time"
+)
+
+// leaks: acquired, used, never released.
+func leaks() {
+	f, err := os.Create("x") // want `os\.Create acquired here is not released on every path: defer f\.Close\(\)`
+	if err != nil {
+		return
+	}
+	f.Name()
+}
+
+// deferred: the canonical shape is clean.
+func deferred() {
+	f, err := os.Create("x")
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.Name()
+}
+
+// oneBranch: released on one branch only — the other path leaks.
+func oneBranch(keep bool) {
+	f, err := os.Create("x") // want `os\.Create acquired here is not released on every path`
+	if err != nil {
+		return
+	}
+	if !keep {
+		f.Close()
+	}
+}
+
+// returned: ownership moves to the caller.
+func returned() (*os.File, error) {
+	f, err := os.Open("x")
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// viaHelper: returned() is a fresh acquirer, so its caller inherits the
+// obligation.
+func viaHelper() {
+	f, err := returned() // want `leak\.returned acquired here is not released on every path`
+	if err != nil {
+		return
+	}
+	f.Name()
+}
+
+// handedOff: passing the resource to a callee transfers ownership.
+func handedOff() {
+	f, err := os.Open("x")
+	if err != nil {
+		return
+	}
+	consume(f)
+}
+
+func consume(f *os.File) { f.Close() }
+
+// stored: assigning the resource away transfers ownership.
+var held *os.File
+
+func stored() {
+	f, err := os.Open("x")
+	if err != nil {
+		return
+	}
+	held = f
+}
+
+// ticker: Stop-released resources are checked the same way.
+func ticker() {
+	t := time.NewTicker(time.Second) // want `time\.NewTicker acquired here is not released on every path: defer t\.Stop\(\)`
+	<-t.C
+}
+
+// tickerStopped is clean.
+func tickerStopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+// exitsEarly: dying on the error path is rule 2's business, not a leak —
+// the process takes the resource with it.
+func exitsEarly() {
+	f, err := os.Create("x")
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if f.Name() == "" {
+		panic("empty")
+	}
+}
+
+// exitWhilePending: die() reaches os.Exit with the ticker's Stop still
+// deferred.
+func exitWhilePending() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	die() // want `call to leak\.die can exit the process while the cleanup deferred at line \d+ \(t\.Stop\(\)\) is pending`
+	t.Reset(time.Second)
+}
+
+func die() {
+	os.Exit(2)
+}
+
+// dieClean runs the cleanup by hand before exiting — the early-exit
+// helper shape is exempt.
+func dieClean(t *time.Ticker) {
+	t.Stop()
+	os.Exit(2)
+}
+
+// exitAfterCleanup: the callee finalizes for itself, so the pending defer
+// is not silently lost.
+func exitAfterCleanup() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	dieClean(t)
+}
+
+// suppressed: an acknowledged leak stays quiet under //lint:ignore.
+func suppressed() {
+	//lint:ignore leakcheck corpus exercises suppression
+	f, _ := os.Create("x")
+	f.Name()
+}

@@ -1,0 +1,296 @@
+package pointsto
+
+// Call handling: conversions, builtins with pointer semantics (make, new,
+// append, copy), and real calls. Real calls bind arguments to parameters
+// and results to destinations along the call graph's resolved edges;
+// arguments of external or dynamic callees are marked as escaping to
+// unknown code, and their tracked results become opaque external objects.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"burstmem/internal/analysis/callgraph"
+)
+
+// call generates constraints for one call expression and returns its
+// result nodes. posOverride carries the go/defer statement position,
+// where the call graph recorded spawn edges.
+func (g *generator) call(e *ast.CallExpr, posOverride token.Pos) []NodeID {
+	fun := unparen(e.Fun)
+	// Unwrap explicit generic instantiation.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if tv, ok := g.info.Types[ix.X]; ok {
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				fun = unparen(ix.X)
+			}
+		}
+	case *ast.IndexListExpr:
+		fun = unparen(ix.X)
+	}
+
+	// Type conversion: T(x) passes the value through.
+	if tv, ok := g.info.Types[fun]; ok && tv.IsType() {
+		if len(e.Args) == 1 {
+			return []NodeID{g.expr(e.Args[0])}
+		}
+		return nil
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := g.info.ObjectOf(id).(*types.Builtin); ok {
+			return []NodeID{g.builtin(b.Name(), e)}
+		}
+	}
+
+	// Receiver of a method call, evaluated once for every candidate.
+	var recvNode = untracked
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if selection, ok := g.info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			recvNode = g.expr(sel.X)
+		} else {
+			g.expr(sel.X)
+		}
+	} else {
+		g.expr(fun)
+	}
+
+	args := make([]NodeID, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = g.expr(a)
+	}
+
+	callees, opaque := g.resolve(e, posOverride)
+
+	nres := 0
+	if tv, ok := g.info.Types[e]; ok {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			nres = tup.Len()
+		} else if tv.Type != nil && tv.Type != types.Typ[types.Invalid] {
+			if _, isVoid := tv.Type.(*types.Tuple); !isVoid {
+				nres = 1
+			}
+		}
+	}
+	results := make([]NodeID, nres)
+	for i := range results {
+		results[i] = untracked
+	}
+
+	for _, callee := range callees {
+		g.bind(callee, e, recvNode, args, results)
+	}
+	if opaque {
+		g.opaqueCall(e, recvNode, args, results)
+	}
+	return results
+}
+
+// resolve finds the call's in-program callees via the caller's edge index,
+// falling back to direct type-info resolution (package-level initializers
+// have no call-graph node). The second result reports whether the call
+// also reaches code the analysis cannot see: an external callee, a
+// dynamic edge, or no resolution at all.
+func (g *generator) resolve(e *ast.CallExpr, posOverride token.Pos) ([]*callgraph.Func, bool) {
+	var edges []*callgraph.Edge
+	if g.edges != nil {
+		edges = g.edges[e.Pos()]
+		if len(edges) == 0 && posOverride != token.NoPos {
+			edges = g.edges[posOverride]
+		}
+	}
+	if len(edges) > 0 {
+		var callees []*callgraph.Func
+		opaque := false
+		for _, edge := range edges {
+			switch {
+			case edge.Kind == callgraph.Lit:
+				// Not this call: a conservative encloser->literal edge
+				// that happens to share the position.
+			case edge.Callee == nil || edge.Callee.Body() == nil:
+				opaque = true
+			default:
+				callees = append(callees, edge.Callee)
+			}
+		}
+		return callees, opaque
+	}
+	// Fallback: static resolution only.
+	var obj *types.Func
+	switch fun := unparen(e.Fun).(type) {
+	case *ast.Ident:
+		obj, _ = g.info.ObjectOf(fun).(*types.Func)
+	case *ast.SelectorExpr:
+		obj, _ = g.info.ObjectOf(fun.Sel).(*types.Func)
+	}
+	if obj == nil {
+		return nil, true
+	}
+	if fn := g.r.Graph.Funcs[callgraph.FuncID(obj)]; fn != nil && fn.Body() != nil {
+		return []*callgraph.Func{fn}, false
+	}
+	return nil, true
+}
+
+// bind connects one call site to one callee: receiver and arguments copy
+// into parameters, return nodes copy into the call's results.
+func (g *generator) bind(callee *callgraph.Func, e *ast.CallExpr, recvNode NodeID, args, results []NodeID) {
+	sig := signatureOf(callee)
+	if sig == nil {
+		return
+	}
+	if recv := sig.Recv(); recv != nil && recvNode != untracked {
+		g.r.addCopy(recvNode, g.r.varNode(recv))
+	}
+	np := sig.Params().Len()
+	for i := 0; i < np; i++ {
+		param := sig.Params().At(i)
+		pn := g.r.varNode(param)
+		if sig.Variadic() && i == np-1 && !e.Ellipsis.IsValid() {
+			// Pack extra arguments into one synthetic slice per callee.
+			pack := g.r.variadic(callee, i)
+			g.r.addCopy(pack, pn)
+			for j := i; j < len(args); j++ {
+				if args[j] != untracked {
+					g.r.addStore(pack, "$elem", args[j])
+				}
+			}
+			break
+		}
+		if i < len(args) && args[i] != untracked {
+			g.r.addCopy(args[i], pn)
+		}
+	}
+	for i, ret := range g.r.returns(callee) {
+		if i >= len(results) {
+			break
+		}
+		if results[i] == untracked {
+			results[i] = g.r.newNode()
+		}
+		g.r.addCopy(ret, results[i])
+	}
+}
+
+// opaqueCall models a call into code the analysis cannot see: every
+// tracked operand escapes, and tracked results are opaque external
+// objects.
+func (g *generator) opaqueCall(e *ast.CallExpr, recvNode NodeID, args, results []NodeID) {
+	if recvNode != untracked {
+		g.r.escapeSeeds = append(g.r.escapeSeeds, recvNode)
+	}
+	for _, a := range args {
+		if a != untracked {
+			g.r.escapeSeeds = append(g.r.escapeSeeds, a)
+		}
+	}
+	var types_ []types.Type
+	if tv, ok := g.info.Types[e]; ok {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				types_ = append(types_, tup.At(i).Type())
+			}
+		} else {
+			types_ = append(types_, tv.Type)
+		}
+	}
+	for i := range results {
+		var t types.Type
+		if i < len(types_) {
+			t = types_[i]
+		}
+		if t == nil || !tracked(t) {
+			continue
+		}
+		obj := g.r.newObject(KindExternal, t, e.Pos(), g.fnID())
+		obj.EscapesUnknown = true
+		if results[i] == untracked {
+			results[i] = g.r.newNode()
+		}
+		g.r.addPts(results[i], obj.ID)
+	}
+}
+
+// builtin models the builtins with pointer semantics; the rest just walk
+// their arguments.
+func (g *generator) builtin(name string, e *ast.CallExpr) NodeID {
+	switch name {
+	case "make":
+		obj := g.r.newObject(KindMake, g.info.TypeOf(e), e.Pos(), g.fnID())
+		n := g.r.newNode()
+		g.r.addPts(n, obj.ID)
+		for _, a := range e.Args[1:] {
+			g.expr(a)
+		}
+		return n
+	case "new":
+		var t types.Type
+		if len(e.Args) == 1 {
+			t = g.info.TypeOf(e.Args[0])
+		}
+		obj := g.r.newObject(KindAlloc, t, e.Pos(), g.fnID())
+		n := g.r.newNode()
+		g.r.addPts(n, obj.ID)
+		return n
+	case "append":
+		n := g.r.newNode()
+		if len(e.Args) == 0 {
+			return n
+		}
+		if base := g.expr(e.Args[0]); base != untracked {
+			g.r.addCopy(base, n)
+		}
+		if e.Ellipsis.IsValid() && len(e.Args) == 2 {
+			if more := g.expr(e.Args[1]); more != untracked {
+				g.r.addCopy(more, n)
+			}
+			return n
+		}
+		for _, a := range e.Args[1:] {
+			if v := g.expr(a); v != untracked {
+				g.r.addStore(n, "$elem", v)
+			}
+		}
+		return n
+	case "copy":
+		if len(e.Args) == 2 {
+			dst, src := g.expr(e.Args[0]), g.expr(e.Args[1])
+			if dst != untracked && src != untracked {
+				tmp := g.r.newNode()
+				g.r.addLoad(src, "$elem", tmp)
+				g.r.addStore(dst, "$elem", tmp)
+			}
+		}
+		return untracked
+	case "panic":
+		// The argument may surface anywhere via recover.
+		if len(e.Args) == 1 {
+			if v := g.expr(e.Args[0]); v != untracked {
+				g.r.escapeSeeds = append(g.r.escapeSeeds, v)
+			}
+		}
+		return untracked
+	default:
+		for _, a := range e.Args {
+			g.expr(a)
+		}
+		return untracked
+	}
+}
+
+// variadic interns the synthetic pack slice of a variadic parameter.
+func (r *Result) variadic(callee *callgraph.Func, param int) NodeID {
+	key := subKey{ObjID(param), string(callee.ID)}
+	if o, ok := r.variadics[key]; ok {
+		return o
+	}
+	obj := r.newObject(KindMake, nil, callee.Pos(), callee.ID)
+	obj.label = string(callee.ID) + "$variadic"
+	n := r.newNode()
+	r.addPts(n, obj.ID)
+	r.variadics[key] = n
+	return n
+}

@@ -1,0 +1,591 @@
+package pointsto
+
+// Constraint generation: one generator pass per function body (plus one
+// per package for package-level variable initializers), translating Go
+// statements and expressions into the four constraint kinds. Calls bind
+// arguments to parameters along the call graph's resolved edges, so the
+// whole program becomes one constraint system.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/callgraph"
+)
+
+const untracked = NodeID(-1)
+
+type generator struct {
+	r    *Result
+	fn   *callgraph.Func // nil for package-level initializers
+	pkg  *analysis.Package
+	info *types.Info
+	// edges indexes the function's resolved call edges by call position.
+	edges map[token.Pos][]*callgraph.Edge
+}
+
+func (g *generator) fnID() callgraph.ID {
+	if g.fn == nil {
+		return ""
+	}
+	return g.fn.ID
+}
+
+// function generates constraints for one call-graph node's body.
+func (g *generator) function() {
+	body := g.fn.Body()
+	if body == nil {
+		return
+	}
+	g.edges = map[token.Pos][]*callgraph.Edge{}
+	for i := range g.fn.Out {
+		e := &g.fn.Out[i]
+		g.edges[e.Pos] = append(g.edges[e.Pos], e)
+	}
+	if sig := signatureOf(g.fn); sig != nil {
+		if recv := sig.Recv(); recv != nil {
+			g.r.varNode(recv)
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			g.r.varNode(sig.Params().At(i))
+		}
+		// Named results feed the return nodes directly, so naked returns
+		// need no special handling.
+		rets := g.r.returns(g.fn)
+		for i := 0; i < sig.Results().Len(); i++ {
+			res := sig.Results().At(i)
+			if res.Name() != "" && tracked(res.Type()) {
+				g.r.addCopy(g.r.varNode(res), rets[i])
+			}
+		}
+	}
+	g.stmt(body)
+}
+
+// pkgInit generates constraints for one package's variable initializers.
+// These run outside any call-graph node, so call resolution falls back to
+// direct type-info lookup.
+func (g *generator) pkgInit() {
+	for _, file := range g.pkg.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				g.assignSpec(vs.Names, vs.Values)
+			}
+		}
+	}
+}
+
+// ---- statements ----
+
+func (g *generator) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			g.stmt(st)
+		}
+	case *ast.ExprStmt:
+		g.expr(s.X)
+	case *ast.AssignStmt:
+		g.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					g.assignSpec(vs.Names, vs.Values)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		g.returnStmt(s)
+	case *ast.SendStmt:
+		ch := g.expr(s.Chan)
+		v := g.expr(s.Value)
+		if ch != untracked && v != untracked {
+			g.r.addStore(ch, "$elem", v)
+		}
+	case *ast.GoStmt:
+		g.call(s.Call, s.Pos())
+	case *ast.DeferStmt:
+		g.call(s.Call, s.Pos())
+	case *ast.IfStmt:
+		g.stmt(s.Init)
+		g.expr(s.Cond)
+		g.stmt(s.Body)
+		g.stmt(s.Else)
+	case *ast.ForStmt:
+		g.stmt(s.Init)
+		if s.Cond != nil {
+			g.expr(s.Cond)
+		}
+		g.stmt(s.Post)
+		g.stmt(s.Body)
+	case *ast.RangeStmt:
+		g.rangeStmt(s)
+	case *ast.SwitchStmt:
+		g.stmt(s.Init)
+		if s.Tag != nil {
+			g.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				g.expr(e)
+			}
+			for _, st := range cc.Body {
+				g.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		g.typeSwitch(s)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			g.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				g.stmt(st)
+			}
+		}
+	case *ast.LabeledStmt:
+		g.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		g.expr(s.X)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// assign handles =, :=, and op-assigns.
+func (g *generator) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// Tuple: multi-result call, comma-ok, or comma-ok-free forms.
+		results := g.tuple(s.Rhs[0], len(s.Lhs))
+		for i, lhs := range s.Lhs {
+			g.assignTo(lhs, results[i])
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i < len(s.Rhs) {
+			g.assignTo(lhs, g.expr(s.Rhs[i]))
+		}
+	}
+}
+
+// tuple evaluates a multi-value expression into n result nodes.
+func (g *generator) tuple(e ast.Expr, n int) []NodeID {
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = untracked
+	}
+	switch e := unparen(e).(type) {
+	case *ast.CallExpr:
+		res := g.call(e, token.NoPos)
+		copy(out, res)
+	case *ast.TypeAssertExpr:
+		out[0] = g.expr(e.X)
+	case *ast.IndexExpr: // v, ok := m[k]
+		out[0] = g.expr(e)
+	case *ast.UnaryExpr: // v, ok := <-ch
+		if e.Op == token.ARROW {
+			out[0] = g.expr(e)
+		}
+	}
+	return out
+}
+
+// assignTo stores a value node into an lvalue.
+func (g *generator) assignTo(lhs ast.Expr, rhs NodeID) {
+	lhs = unparen(lhs)
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if v, ok := g.info.ObjectOf(l).(*types.Var); ok {
+			// Declaring a variable materializes its node even when the
+			// initializer is untracked, so consumers can query it.
+			n := g.r.varNode(v)
+			if rhs != untracked {
+				g.r.addCopy(rhs, n)
+			}
+		}
+	case *ast.SelectorExpr:
+		g.assignSelector(l, rhs)
+	case *ast.IndexExpr:
+		base := g.expr(l.X)
+		if base != untracked && rhs != untracked {
+			g.r.addStore(base, "$elem", rhs)
+		}
+	case *ast.StarExpr:
+		p := g.expr(l.X)
+		if p == untracked || rhs == untracked {
+			return
+		}
+		if isStructy(deref(g.info.TypeOf(l.X))) {
+			// Whole-struct store: the pointees of p absorb the fields of
+			// the stored value (closed over at wave boundaries).
+			g.r.addStoreAll(p, rhs)
+		} else {
+			g.r.addStore(p, "$val", rhs)
+		}
+	}
+}
+
+// assignSelector stores into x.f — a field store when the selector is a
+// field selection, a copy when it is a qualified package variable.
+func (g *generator) assignSelector(l *ast.SelectorExpr, rhs NodeID) {
+	if sel, ok := g.info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+		base, path, ok := g.selectPrefix(l, sel)
+		if !ok || rhs == untracked {
+			return
+		}
+		g.r.addStore(base, path, rhs)
+		return
+	}
+	if v, ok := g.info.ObjectOf(l.Sel).(*types.Var); ok && rhs != untracked {
+		g.r.addCopy(rhs, g.r.varNode(v))
+	}
+}
+
+// selectPrefix evaluates all but the last step of a field selection,
+// returning the base node and the final field name. Promotion through
+// embedded fields (including pointer embeds) becomes intermediate loads.
+func (g *generator) selectPrefix(l *ast.SelectorExpr, sel *types.Selection) (NodeID, string, bool) {
+	base := g.expr(l.X)
+	if base == untracked {
+		return untracked, "", false
+	}
+	t := sel.Recv()
+	idx := sel.Index()
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := types.Unalias(deref(t)).Underlying().(*types.Struct)
+		if !ok {
+			return untracked, "", false
+		}
+		f := st.Field(i)
+		next := g.r.newNode()
+		g.r.addLoad(base, f.Name(), next)
+		base, t = next, f.Type()
+	}
+	st, ok := types.Unalias(deref(t)).Underlying().(*types.Struct)
+	if !ok {
+		return untracked, "", false
+	}
+	return base, st.Field(idx[len(idx)-1]).Name(), true
+}
+
+func (g *generator) assignSpec(names []*ast.Ident, values []ast.Expr) {
+	if len(names) > 1 && len(values) == 1 {
+		results := g.tuple(values[0], len(names))
+		for i, name := range names {
+			g.assignTo(name, results[i])
+		}
+		return
+	}
+	for i, name := range names {
+		var rhs NodeID = untracked
+		if i < len(values) {
+			rhs = g.expr(values[i])
+		}
+		g.assignTo(name, rhs)
+	}
+}
+
+func (g *generator) returnStmt(s *ast.ReturnStmt) {
+	if g.fn == nil {
+		return
+	}
+	rets := g.r.returns(g.fn)
+	if len(s.Results) == 1 && len(rets) > 1 {
+		results := g.tuple(s.Results[0], len(rets))
+		for i, res := range results {
+			if res != untracked {
+				g.r.addCopy(res, rets[i])
+			}
+		}
+		return
+	}
+	for i, e := range s.Results {
+		if i >= len(rets) {
+			break
+		}
+		if n := g.expr(e); n != untracked {
+			g.r.addCopy(n, rets[i])
+		}
+	}
+}
+
+func (g *generator) rangeStmt(s *ast.RangeStmt) {
+	x := g.expr(s.X)
+	t := g.info.TypeOf(s.X)
+	if x != untracked && t != nil {
+		switch types.Unalias(t).Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Map, *types.Chan, *types.Pointer:
+			if s.Value != nil {
+				v := g.r.newNode()
+				g.r.addLoad(x, "$elem", v)
+				g.assignTo(s.Value, v)
+			}
+		}
+	}
+	g.stmt(s.Body)
+}
+
+func (g *generator) typeSwitch(s *ast.TypeSwitchStmt) {
+	g.stmt(s.Init)
+	var src NodeID = untracked
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if ta, ok := unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+			src = g.expr(ta.X)
+		}
+	case *ast.ExprStmt:
+		if ta, ok := unparen(a.X).(*ast.TypeAssertExpr); ok {
+			src = g.expr(ta.X)
+		}
+	}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		// The per-clause implicit variable aliases the switched value.
+		if v, ok := g.info.Implicits[cc].(*types.Var); ok && src != untracked {
+			g.r.addCopy(src, g.r.varNode(v))
+		}
+		for _, st := range cc.Body {
+			g.stmt(st)
+		}
+	}
+}
+
+// ---- expressions ----
+
+// expr generates constraints for an expression and returns the node
+// holding its value (untracked for scalars and func values). Tracked
+// results are recorded for ExprObjects lookups.
+func (g *generator) expr(e ast.Expr) NodeID {
+	n := g.exprInner(e)
+	if n != untracked {
+		g.r.exprNodes[e] = n
+	}
+	return n
+}
+
+func (g *generator) exprInner(e ast.Expr) NodeID {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := g.info.ObjectOf(e).(*types.Var); ok && tracked(v.Type()) {
+			return g.r.varNode(v)
+		}
+		return untracked
+	case *ast.ParenExpr:
+		return g.expr(e.X)
+	case *ast.SelectorExpr:
+		return g.selector(e)
+	case *ast.StarExpr:
+		p := g.expr(e.X)
+		if p == untracked {
+			return untracked
+		}
+		if isStructy(g.info.TypeOf(e)) {
+			return p // value structs conflate with references
+		}
+		n := g.r.newNode()
+		g.r.addLoad(p, "$val", n)
+		return n
+	case *ast.UnaryExpr:
+		return g.unary(e)
+	case *ast.CompositeLit:
+		return g.composite(e)
+	case *ast.CallExpr:
+		res := g.call(e, token.NoPos)
+		if len(res) > 0 {
+			return res[0]
+		}
+		return untracked
+	case *ast.IndexExpr:
+		return g.index(e)
+	case *ast.IndexListExpr:
+		g.expr(e.X)
+		return untracked
+	case *ast.SliceExpr:
+		return g.expr(e.X)
+	case *ast.TypeAssertExpr:
+		return g.expr(e.X)
+	case *ast.BinaryExpr:
+		g.expr(e.X)
+		g.expr(e.Y)
+		return untracked
+	case *ast.FuncLit:
+		// Literals are their own call-graph nodes; captures share the
+		// outer variables' nodes, so nothing flows through the value.
+		return untracked
+	case *ast.KeyValueExpr:
+		return g.expr(e.Value)
+	}
+	return untracked
+}
+
+func (g *generator) selector(e *ast.SelectorExpr) NodeID {
+	if sel, ok := g.info.Selections[e]; ok {
+		switch sel.Kind() {
+		case types.FieldVal:
+			base, path, ok := g.selectPrefix(e, sel)
+			if !ok || !tracked(g.info.TypeOf(e)) {
+				return untracked
+			}
+			n := g.r.newNode()
+			g.r.addLoad(base, path, n)
+			return n
+		default: // method value/expr: a func value, untracked
+			g.expr(e.X)
+			return untracked
+		}
+	}
+	// Qualified identifier pkg.X.
+	if v, ok := g.info.ObjectOf(e.Sel).(*types.Var); ok && tracked(v.Type()) {
+		return g.r.varNode(v)
+	}
+	return untracked
+}
+
+func (g *generator) unary(e *ast.UnaryExpr) NodeID {
+	switch e.Op {
+	case token.AND:
+		return g.addressOf(e.X)
+	case token.ARROW:
+		ch := g.expr(e.X)
+		if ch == untracked {
+			return untracked
+		}
+		n := g.r.newNode()
+		g.r.addLoad(ch, "$elem", n)
+		return n
+	default:
+		g.expr(e.X)
+		return untracked
+	}
+}
+
+// addressOf evaluates &x. For aggregates the pointer conflates with the
+// value's object set; for a scalar variable it points at the variable's
+// storage object. &scalarField is not tracked (no per-instance storage
+// object exists for scalar fields), a documented imprecision.
+func (g *generator) addressOf(x ast.Expr) NodeID {
+	x = unparen(x)
+	if isStructy(g.info.TypeOf(x)) {
+		return g.expr(x)
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		if v, ok := g.info.ObjectOf(id).(*types.Var); ok {
+			g.r.varNode(v)
+			n := g.r.newNode()
+			g.r.addPts(n, g.r.varObject(v))
+			return n
+		}
+	}
+	g.expr(x)
+	return untracked
+}
+
+func (g *generator) composite(e *ast.CompositeLit) NodeID {
+	t := g.info.TypeOf(e)
+	obj := g.r.newObject(KindAlloc, t, e.Pos(), g.fnID())
+	n := g.r.newNode()
+	g.r.addPts(n, obj.ID)
+	switch ut := types.Unalias(t).Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if v := g.expr(kv.Value); v != untracked {
+						g.r.addStore(n, key.Name, v)
+					}
+				}
+				continue
+			}
+			if v := g.expr(elt); v != untracked && i < ut.NumFields() {
+				g.r.addStore(n, ut.Field(i).Name(), v)
+			}
+		}
+	case *types.Slice, *types.Array, *types.Map:
+		for _, elt := range e.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			if v := g.expr(val); v != untracked {
+				g.r.addStore(n, "$elem", v)
+			}
+		}
+	}
+	return n
+}
+
+func (g *generator) index(e *ast.IndexExpr) NodeID {
+	// Generic instantiation F[T] rather than container indexing.
+	if tv, ok := g.info.Types[e.X]; ok {
+		if _, isSig := tv.Type.Underlying().(*types.Signature); isSig || tv.IsType() {
+			return untracked
+		}
+	}
+	base := g.expr(e.X)
+	g.expr(e.Index)
+	if base == untracked || !tracked(g.info.TypeOf(e)) {
+		return untracked
+	}
+	n := g.r.newNode()
+	g.r.addLoad(base, "$elem", n)
+	return n
+}
+
+// ---- helpers shared with the solver ----
+
+func signatureOf(fn *callgraph.Func) *types.Signature {
+	switch {
+	case fn.Decl != nil:
+		if obj, ok := fn.Pkg.TypesInfo.Defs[fn.Decl.Name].(*types.Func); ok {
+			return obj.Type().(*types.Signature)
+		}
+	case fn.Lit != nil:
+		if tv, ok := fn.Pkg.TypesInfo.Types[fn.Lit]; ok {
+			if sig, ok := tv.Type.(*types.Signature); ok {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+// returns interns the result nodes of a function.
+func (r *Result) returns(fn *callgraph.Func) []NodeID {
+	if ns, ok := r.retNodes[fn.ID]; ok {
+		return ns
+	}
+	sig := signatureOf(fn)
+	n := 0
+	if sig != nil {
+		n = sig.Results().Len()
+	}
+	ns := make([]NodeID, n)
+	for i := range ns {
+		ns[i] = r.newNode()
+	}
+	r.retNodes[fn.ID] = ns
+	return ns
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,906 @@
+// Package pointsto computes a flow-insensitive, field-sensitive,
+// context-insensitive Andersen-style points-to analysis over the loaded
+// program (internal/analysis.Program). It is the aliasing substrate under
+// the concurrency-hygiene tier: sharestate's ownership *inference* (which
+// objects reachable from hot-path entries are confined to one channel
+// shard vs. aliased across shards) and chanflow's channel-peer reasoning
+// both read this solution, cached per program under "pointsto" alongside
+// the PR 7 call graph and effect summaries.
+//
+// # Abstraction
+//
+// Abstract objects are allocation sites: composite literals, new/make
+// calls, and — so that value structs and address-taken locals fit the same
+// lattice — one identity object per struct-typed variable and one storage
+// object per scalar variable whose address is taken. Struct values are
+// conflated with references to them (a value copy aliases rather than
+// clones), which over-approximates aliasing: the safe direction for every
+// checker built on top. Nested value-struct fields become sub-objects
+// keyed by their field path ("stats", "stats.hits"), so a chanlocal
+// annotation on an inner type is checked against the inner object, not
+// its container. Slices, arrays, maps and channels carry one "$elem"
+// pseudo-field (array-insensitive; map keys untracked); pointers to
+// scalars carry "$val".
+//
+// # Constraints
+//
+//	p = &x      AddrOf   pts(p) ∋ obj(x)
+//	p = q       Copy     pts(p) ⊇ pts(q)
+//	p = q.f     Load     ∀ o ∈ pts(q): pts(p) ⊇ pts(fld(o,f))
+//	p.f = q     Store    ∀ o ∈ pts(p): pts(fld(o,f)) ⊇ pts(q)
+//
+// Calls bind arguments to parameters and results to destinations with
+// Copy edges along the CHA call graph's resolved edges (static, interface
+// candidates, spawns), so one summary-free pass covers the whole program;
+// unresolved dynamic calls and calls into external code instead mark
+// their argument objects as escaping to unknown code, which consumers
+// treat as "may alias anything" (chanflow exempts such channels, the
+// sharestate gate already refuses dynamic calls on the hot path).
+// Every function body in the program generates constraints whether or not
+// anything calls it — an object allocated in an uncalled exported
+// constructor still exists, which is what lets the inference see the sim
+// object graph through cmd/ and examples/ alike.
+//
+// # Solver
+//
+// A monotone worklist solver over the constraint graph: difference
+// propagation along Copy edges, with Load/Store constraints materializing
+// new edges as their base sets grow. Copy-edge cycles are collapsed with
+// a union-find over Tarjan SCCs — once after constraint generation and
+// again whenever a drained worklist added edges since the last collapse —
+// so recursive data-structure constraints cost one representative node
+// instead of quadratic re-propagation. The solution is the unique least
+// fixed point, so processing order never shows in results; node and
+// object IDs are assigned in (package, file, position) order so rendered
+// chains and test output are deterministic too.
+package pointsto
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/callgraph"
+)
+
+// NodeID indexes one pointer-valued slot (a variable, a field of an
+// abstract object, or an expression temporary).
+type NodeID int32
+
+// ObjID indexes one abstract object.
+type ObjID int32
+
+// ObjKind classifies how an abstract object came to be.
+type ObjKind uint8
+
+// Object kinds.
+const (
+	// KindAlloc is a composite literal or new(T) site.
+	KindAlloc ObjKind = iota
+	// KindMake is a make(slice/map/chan) site.
+	KindMake
+	// KindVar is the identity object of a struct-typed variable or the
+	// storage object of an address-taken scalar variable.
+	KindVar
+	// KindSub is a nested value-struct field of another object.
+	KindSub
+	// KindExternal stands for whatever an unresolved or external call
+	// returned: contents unknown.
+	KindExternal
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case KindAlloc:
+		return "alloc"
+	case KindMake:
+		return "make"
+	case KindVar:
+		return "var"
+	case KindSub:
+		return "sub"
+	case KindExternal:
+		return "external"
+	}
+	return "?"
+}
+
+// Object is one abstract object.
+type Object struct {
+	ID   ObjID
+	Kind ObjKind
+	// Type is the object's Go type (the struct type for an identity
+	// object, the element-carrying type for makes); nil for externals.
+	Type types.Type
+	// TypeKey is the stable "pkgpath.TypeName" of a named object type
+	// ("" when the type is unnamed or unknown) — the key the ownership
+	// annotations use.
+	TypeKey string
+	// Pos is the allocation site (the declaration for var objects).
+	Pos token.Pos
+	// Fn is the allocating function ("" for package-level objects).
+	Fn callgraph.ID
+	// Var is set for KindVar objects.
+	Var *types.Var
+	// Parent/Path locate a KindSub object inside its root object.
+	Parent ObjID
+	Path   string
+	// Global marks objects rooted at package-level storage (the identity
+	// object of a package var).
+	Global bool
+	// EscapesUnknown is set after solving when the object flowed into an
+	// unresolved dynamic call or an external (no-body) callee.
+	EscapesUnknown bool
+
+	label string
+	// fields maps field path -> node holding that field's pointees.
+	fields map[string]NodeID
+}
+
+// String renders the object for diagnostics: its type when named, else
+// its kind and position.
+func (o *Object) String() string {
+	if o.label != "" {
+		return o.label
+	}
+	if o.TypeKey != "" {
+		return shortKey(o.TypeKey)
+	}
+	return o.Kind.String()
+}
+
+// fieldCons is one Load or Store constraint hanging off a base node.
+type fieldCons struct {
+	path string
+	node NodeID // Load: destination; Store: source
+}
+
+// node is one solver node.
+type node struct {
+	rep NodeID // union-find parent; == own index when representative
+
+	pts  *bitset
+	prev *bitset // portion already propagated (difference propagation)
+
+	copies []NodeID // outgoing copy edges (dst ⊇ this)
+	loads  []fieldCons
+	stores []fieldCons
+}
+
+// Stats summarizes one solve, for tests and the -timing trajectory.
+type Stats struct {
+	Nodes, Objects        int
+	Copies, Loads, Stores int
+	Collapsed             int // nodes merged away by cycle collapsing
+	Waves                 int // collapse-and-drain rounds
+}
+
+// Result is the program's points-to solution.
+type Result struct {
+	Prog  *analysis.Program
+	Graph *callgraph.Graph
+
+	Objects []*Object
+	Stats   Stats
+
+	nodes     []*node
+	varNodes  map[*types.Var]NodeID
+	exprNodes map[ast.Expr]NodeID
+	varObjs   map[*types.Var]ObjID
+	subObjs   map[subKey]ObjID
+	retNodes  map[callgraph.ID][]NodeID
+	variadics map[subKey]NodeID
+
+	escapeSeeds []NodeID       // nodes whose pointees leak to unknown code
+	storeAlls   []storeAllCons // whole-struct stores, closed at wave ends
+	worklist    []NodeID
+	edgesDirty  bool // copy edges added since the last cycle collapse
+}
+
+// storeAllCons is one whole-struct store *p = v: every field of v's
+// objects flows into the same field of p's pointees.
+type storeAllCons struct {
+	base, src NodeID
+}
+
+type subKey struct {
+	parent ObjID
+	path   string
+}
+
+// Of returns the program's points-to solution, computing it once per
+// Program under the "pointsto" cache key (so burstlint -timing reports
+// the solver's wall time and every consumer shares one solve).
+func Of(prog *analysis.Program) *Result {
+	return prog.Cached("pointsto", func() any {
+		return solve(prog)
+	}).(*Result)
+}
+
+// PointsTo returns the abstract objects a variable may point to (or, for
+// a struct-typed variable, be), sorted by ID.
+func (r *Result) PointsTo(v *types.Var) []*Object {
+	n, ok := r.varNodes[v]
+	if !ok {
+		return nil
+	}
+	return r.objectsOf(n)
+}
+
+// ExprObjects returns the abstract objects an analyzed expression may
+// evaluate to. Only expressions the constraint generator visited resolve;
+// others return nil.
+func (r *Result) ExprObjects(e ast.Expr) []*Object {
+	n, ok := r.exprNodes[e]
+	if !ok {
+		return nil
+	}
+	return r.objectsOf(n)
+}
+
+// FieldPointees returns the objects held by one field path of obj,
+// sorted by ID; nil when the path was never materialized.
+func (r *Result) FieldPointees(obj *Object, path string) []*Object {
+	n, ok := obj.fields[path]
+	if !ok {
+		return nil
+	}
+	return r.objectsOf(n)
+}
+
+// Fields returns obj's materialized field paths in sorted order.
+func (r *Result) Fields(obj *Object) []string {
+	out := make([]string, 0, len(obj.fields))
+	for p := range obj.fields {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GlobalRoots returns the package-level variables the solution tracks,
+// in deterministic (position) order.
+func (r *Result) GlobalRoots() []*types.Var {
+	var out []*types.Var
+	for v := range r.varNodes {
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func (r *Result) objectsOf(n NodeID) []*Object {
+	n = r.find(n)
+	var out []*Object
+	r.nodes[n].pts.forEach(func(o int) {
+		out = append(out, r.Objects[o])
+	})
+	return out
+}
+
+// ---- construction ----
+
+func solve(prog *analysis.Program) *Result {
+	r := &Result{
+		Prog:      prog,
+		Graph:     callgraph.Build(prog),
+		varNodes:  map[*types.Var]NodeID{},
+		exprNodes: map[ast.Expr]NodeID{},
+		varObjs:   map[*types.Var]ObjID{},
+		subObjs:   map[subKey]ObjID{},
+		retNodes:  map[callgraph.ID][]NodeID{},
+		variadics: map[subKey]NodeID{},
+	}
+	// Package-level variables first, in load order, so global object IDs
+	// are stable and dense.
+	for _, pkg := range prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if v, ok := scope.Lookup(name).(*types.Var); ok {
+				r.varNode(v)
+			}
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		gen := &generator{r: r, pkg: pkg, info: pkg.TypesInfo}
+		gen.pkgInit()
+	}
+	for _, fn := range r.Graph.Source {
+		gen := &generator{r: r, fn: fn, info: fn.Pkg.TypesInfo, pkg: fn.Pkg}
+		gen.function()
+	}
+	r.run()
+	r.markEscapes()
+	r.Stats.Nodes = len(r.nodes)
+	r.Stats.Objects = len(r.Objects)
+	return r
+}
+
+func (r *Result) newNode() NodeID {
+	id := NodeID(len(r.nodes))
+	r.nodes = append(r.nodes, &node{rep: id, pts: newBitset(), prev: newBitset()})
+	return id
+}
+
+func (r *Result) newObject(kind ObjKind, t types.Type, pos token.Pos, fn callgraph.ID) *Object {
+	o := &Object{
+		ID:      ObjID(len(r.Objects)),
+		Kind:    kind,
+		Type:    t,
+		TypeKey: namedKey(t),
+		Pos:     pos,
+		Fn:      fn,
+		Parent:  -1,
+		fields:  map[string]NodeID{},
+	}
+	r.Objects = append(r.Objects, o)
+	return o
+}
+
+// varNode interns the node of a variable. Struct-typed variables are
+// seeded with their identity object (value structs conflate with
+// references); package-level identity objects are marked Global.
+func (r *Result) varNode(v *types.Var) NodeID {
+	if n, ok := r.varNodes[v]; ok {
+		return n
+	}
+	n := r.newNode()
+	r.varNodes[v] = n
+	if isStructy(v.Type()) {
+		o := r.varObject(v)
+		r.addPts(n, o)
+	}
+	return n
+}
+
+// varObject interns the identity/storage object of a variable.
+func (r *Result) varObject(v *types.Var) ObjID {
+	if o, ok := r.varObjs[v]; ok {
+		return o
+	}
+	o := r.newObject(KindVar, v.Type(), v.Pos(), "")
+	o.Var = v
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		o.Global = true
+		o.label = v.Pkg().Path() + "." + v.Name()
+	} else {
+		o.label = v.Name()
+	}
+	r.varObjs[v] = o.ID
+	// The storage object of a scalar/pointer variable forwards "$val"
+	// to the variable's own node, so *(&v) reads and writes v.
+	if !isStructy(v.Type()) {
+		r.Objects[o.ID].fields["$val"] = r.varNode(v)
+	}
+	return o.ID
+}
+
+// fieldNode interns the node for one field path of an object, seeding
+// value-struct fields with their sub-object so nested ownership keys
+// resolve to their own abstract object.
+func (r *Result) fieldNode(o ObjID, path string) NodeID {
+	obj := r.Objects[o]
+	if n, ok := obj.fields[path]; ok {
+		return n
+	}
+	n := r.newNode()
+	obj.fields[path] = n
+	if ft := fieldTypeOf(obj.Type, path); ft != nil && isStructy(ft) && !strings.HasPrefix(path, "$") {
+		sub := r.subObject(o, path, ft)
+		r.addPts(n, sub)
+	}
+	return n
+}
+
+// subObject interns the sub-object for a value-struct field path.
+// Sub-object fields forward to the root object under the extended path,
+// so (o,"stats") and (o,"stats.hits") stay one coherent object graph.
+func (r *Result) subObject(parent ObjID, path string, t types.Type) ObjID {
+	key := subKey{parent, path}
+	if o, ok := r.subObjs[key]; ok {
+		return o
+	}
+	root := r.Objects[parent]
+	o := r.newObject(KindSub, t, root.Pos, root.Fn)
+	o.Parent = parent
+	o.Path = path
+	o.Global = root.Global
+	r.subObjs[key] = o.ID
+	return o.ID
+}
+
+// subFieldNode resolves a field access on a sub-object to the root
+// object's extended path.
+func (r *Result) subFieldNode(o ObjID, path string) NodeID {
+	obj := r.Objects[o]
+	if obj.Kind == KindSub {
+		return r.subFieldNode(obj.Parent, obj.Path+"."+path)
+	}
+	return r.fieldNode(o, path)
+}
+
+// ---- solver ----
+
+func (r *Result) find(n NodeID) NodeID {
+	for r.nodes[n].rep != n {
+		r.nodes[n].rep = r.nodes[r.nodes[n].rep].rep
+		n = r.nodes[n].rep
+	}
+	return n
+}
+
+func (r *Result) addPts(n NodeID, o ObjID) {
+	n = r.find(n)
+	if r.nodes[n].pts.add(int(o)) {
+		r.push(n)
+	}
+}
+
+func (r *Result) addCopy(src, dst NodeID) {
+	src, dst = r.find(src), r.find(dst)
+	if src == dst {
+		return
+	}
+	ns := r.nodes[src]
+	for _, d := range ns.copies {
+		if r.find(d) == dst {
+			return
+		}
+	}
+	ns.copies = append(ns.copies, dst)
+	r.Stats.Copies++
+	r.edgesDirty = true
+	if r.nodes[dst].pts.orWith(ns.pts) {
+		r.push(dst)
+	}
+}
+
+func (r *Result) addLoad(base NodeID, path string, dst NodeID) {
+	base = r.find(base)
+	r.nodes[base].loads = append(r.nodes[base].loads, fieldCons{path, dst})
+	r.Stats.Loads++
+	r.applyField(base, r.nodes[base].pts, fieldCons{path, dst}, true)
+}
+
+func (r *Result) addStore(base NodeID, path string, src NodeID) {
+	base = r.find(base)
+	r.nodes[base].stores = append(r.nodes[base].stores, fieldCons{path, src})
+	r.Stats.Stores++
+	r.applyField(base, r.nodes[base].pts, fieldCons{path, src}, false)
+}
+
+func (r *Result) applyField(base NodeID, over *bitset, c fieldCons, isLoad bool) {
+	over.forEach(func(oi int) {
+		fn := r.subFieldNode(ObjID(oi), c.path)
+		if isLoad {
+			r.addCopy(fn, c.node)
+		} else {
+			r.addCopy(c.node, fn)
+		}
+	})
+}
+
+func (r *Result) addStoreAll(base, src NodeID) {
+	r.storeAlls = append(r.storeAlls, storeAllCons{base, src})
+}
+
+// applyStoreAlls links corresponding fields of whole-struct stores over
+// the fields known so far; run() re-applies it each wave, so the closure
+// converges even as new field nodes appear.
+func (r *Result) applyStoreAlls() {
+	for _, c := range r.storeAlls {
+		srcObjs := r.nodes[r.find(c.src)].pts
+		r.nodes[r.find(c.base)].pts.forEach(func(oi int) {
+			srcObjs.forEach(func(si int) {
+				if si == oi {
+					return
+				}
+				for _, f := range r.fieldsOf(ObjID(si)) {
+					r.addCopy(f.node, r.subFieldNode(ObjID(oi), f.path))
+				}
+			})
+		})
+	}
+}
+
+type fieldEntry struct {
+	path string
+	node NodeID
+}
+
+// fieldsOf enumerates an object's materialized fields in sorted order,
+// resolving sub-objects against their root's path-prefixed entries.
+func (r *Result) fieldsOf(o ObjID) []fieldEntry {
+	obj := r.Objects[o]
+	prefix := ""
+	for obj.Kind == KindSub {
+		prefix = obj.Path + "."
+		obj = r.Objects[obj.Parent]
+	}
+	var out []fieldEntry
+	for p, n := range obj.fields {
+		if prefix == "" {
+			out = append(out, fieldEntry{p, n})
+		} else if strings.HasPrefix(p, prefix) {
+			out = append(out, fieldEntry{strings.TrimPrefix(p, prefix), n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
+func (r *Result) push(n NodeID) {
+	r.worklist = append(r.worklist, n)
+}
+
+// run drains the worklist to the least fixed point, collapsing copy-edge
+// cycles between waves.
+func (r *Result) run() {
+	r.collapse()
+	for {
+		r.Stats.Waves++
+		for len(r.worklist) > 0 {
+			n := r.find(r.worklist[len(r.worklist)-1])
+			r.worklist = r.worklist[:len(r.worklist)-1]
+			nd := r.nodes[n]
+			delta := nd.pts.diff(nd.prev)
+			if delta.empty() {
+				continue
+			}
+			nd.prev.orWith(nd.pts)
+			// New pointees activate the node's field constraints...
+			for _, c := range nd.loads {
+				r.applyField(n, delta, c, true)
+			}
+			for _, c := range nd.stores {
+				r.applyField(n, delta, c, false)
+			}
+			// ...and flow along its copy edges.
+			for _, d := range nd.copies {
+				d = r.find(d)
+				if d != n && r.nodes[d].pts.orWith(nd.pts) {
+					r.push(d)
+				}
+			}
+		}
+		r.applyStoreAlls()
+		if len(r.worklist) == 0 && !r.edgesDirty {
+			return
+		}
+		if r.edgesDirty {
+			r.collapse()
+		}
+	}
+}
+
+// collapse merges copy-edge SCCs into their representative node
+// (iterative Tarjan, mirroring callgraph.SCCs), then re-seeds the
+// worklist with every representative whose set outruns its propagated
+// portion.
+func (r *Result) collapse() {
+	r.edgesDirty = false
+	n := len(r.nodes)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []NodeID
+	next := int32(0)
+
+	type frame struct {
+		n    NodeID
+		edge int
+	}
+	for root := 0; root < n; root++ {
+		rt := r.find(NodeID(root))
+		if index[rt] >= 0 {
+			continue
+		}
+		frames := []frame{{n: rt}}
+		index[rt], low[rt] = next, next
+		next++
+		stack = append(stack, rt)
+		onStack[rt] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			nd := r.nodes[f.n]
+			advanced := false
+			for f.edge < len(nd.copies) {
+				w := r.find(nd.copies[f.edge])
+				f.edge++
+				if w == f.n {
+					continue
+				}
+				if index[w] < 0 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{n: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.n] {
+					low[f.n] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[f.n] == index[f.n] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.n {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					r.merge(comp)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].n
+				if low[f.n] < low[p] {
+					low[p] = low[f.n]
+				}
+			}
+		}
+	}
+	for i := range r.nodes {
+		ni := NodeID(i)
+		if r.find(ni) == ni && !r.nodes[i].pts.diff(r.nodes[i].prev).empty() {
+			r.push(ni)
+		}
+	}
+}
+
+// merge unions one SCC into its lowest-ID member.
+func (r *Result) merge(comp []NodeID) {
+	rep := comp[0]
+	for _, c := range comp[1:] {
+		if c < rep {
+			rep = c
+		}
+	}
+	rnd := r.nodes[rep]
+	for _, c := range comp {
+		if c == rep {
+			continue
+		}
+		cn := r.nodes[c]
+		cn.rep = rep
+		rnd.pts.orWith(cn.pts)
+		rnd.copies = append(rnd.copies, cn.copies...)
+		rnd.loads = append(rnd.loads, cn.loads...)
+		rnd.stores = append(rnd.stores, cn.stores...)
+		cn.copies, cn.loads, cn.stores = nil, nil, nil
+		r.Stats.Collapsed++
+	}
+	// Drop self and duplicate edges picked up in the union.
+	var out []NodeID
+	seen := map[NodeID]bool{rep: true}
+	for _, d := range rnd.copies {
+		d = r.find(d)
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	rnd.copies = out
+}
+
+// markEscapes floods EscapesUnknown from every node whose pointees were
+// handed to code the analysis cannot see, then closes it over fields:
+// whatever an escaped object's fields hold escaped with it.
+func (r *Result) markEscapes() {
+	seen := map[ObjID]bool{}
+	var stack []ObjID
+	add := func(o ObjID) {
+		if !seen[o] {
+			seen[o] = true
+			stack = append(stack, o)
+		}
+	}
+	for _, n := range r.escapeSeeds {
+		r.nodes[r.find(n)].pts.forEach(func(o int) { add(ObjID(o)) })
+	}
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		obj := r.Objects[o]
+		obj.EscapesUnknown = true
+		for _, fn := range obj.fields {
+			r.nodes[r.find(fn)].pts.forEach(func(p int) { add(ObjID(p)) })
+		}
+	}
+}
+
+// ---- type helpers ----
+
+// isStructy reports whether values of t get identity objects (structs and
+// arrays — both are value aggregates whose fields/elements need a home).
+func isStructy(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}
+
+// tracked reports whether expressions of t carry anything the analysis
+// follows (pointers, aggregates, reference types, interfaces).
+func tracked(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Interface, *types.Struct, *types.Array, *types.TypeParam:
+		return true
+	}
+	return false
+}
+
+// namedKey renders the stable "pkgpath.TypeName" annotation key of a
+// (possibly pointer-wrapped) named type, "" otherwise.
+func namedKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	n = n.Origin()
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// fieldTypeOf resolves a (possibly dotted) field path against an object
+// type, nil when it cannot be resolved ($-pseudo paths, unknown types).
+func fieldTypeOf(t types.Type, path string) types.Type {
+	if t == nil || strings.HasPrefix(path, "$") {
+		return nil
+	}
+	for _, seg := range strings.Split(path, ".") {
+		if strings.HasPrefix(seg, "$") {
+			return nil
+		}
+		t = deref(t)
+		st, ok := types.Unalias(t).Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		found := false
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == seg {
+				t = st.Field(i).Type()
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return t
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func shortKey(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// ---- bitset ----
+
+// bitset is a dense bitset over object IDs.
+type bitset struct {
+	words []uint64
+}
+
+func newBitset() *bitset { return &bitset{} }
+
+func (b *bitset) add(i int) bool {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	for len(b.words) <= w {
+		b.words = append(b.words, 0)
+	}
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	return true
+}
+
+func (b *bitset) orWith(o *bitset) bool {
+	changed := false
+	for len(b.words) < len(o.words) {
+		b.words = append(b.words, 0)
+	}
+	for i, w := range o.words {
+		if nw := b.words[i] | w; nw != b.words[i] {
+			b.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// diff returns b minus o as a fresh bitset.
+func (b *bitset) diff(o *bitset) *bitset {
+	out := newBitset()
+	for i, w := range b.words {
+		if i < len(o.words) {
+			w &^= o.words[i]
+		}
+		if w != 0 {
+			for len(out.words) <= i {
+				out.words = append(out.words, 0)
+			}
+			out.words[i] = w
+		}
+	}
+	return out
+}
+
+func (b *bitset) empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEach visits set bits in ascending order.
+func (b *bitset) forEach(f func(int)) {
+	for i, w := range b.words {
+		for w != 0 {
+			f(i<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// DebugString renders a variable's solution for tests.
+func (r *Result) DebugString(v *types.Var) string {
+	objs := r.PointsTo(v)
+	parts := make([]string, len(objs))
+	for i, o := range objs {
+		parts[i] = o.String()
+	}
+	return fmt.Sprintf("%s -> {%s}", v.Name(), strings.Join(parts, ", "))
+}

@@ -1,0 +1,111 @@
+package pointsto_test
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/analysistest"
+	"burstmem/internal/analysis/pointsto"
+)
+
+// probeAnalyzer renders the solver's object set at every probe(x) call in
+// the corpus, so // want comments can pin aliasing facts. Objects print
+// as their named type's short key; "!" marks escape to unknown code.
+var probeAnalyzer = &analysis.Analyzer{
+	Name: "ptsprobe",
+	Doc:  "test-only: report points-to sets at probe() calls",
+	RunProgram: func(pass *analysis.ProgramPass) {
+		res := pointsto.Of(pass.Prog)
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "probe" || len(call.Args) != 1 {
+						return true
+					}
+					pass.Reportf(call.Pos(), "pts = [%s]", render(res.ExprObjects(call.Args[0])))
+					return true
+				})
+			}
+		}
+	},
+}
+
+func render(objs []*pointsto.Object) string {
+	seen := map[string]bool{}
+	var parts []string
+	for _, o := range objs {
+		s := o.String()
+		if o.EscapesUnknown {
+			s += "!"
+		}
+		if !seen[s] {
+			seen[s] = true
+			parts = append(parts, s)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+func TestPointsTo(t *testing.T) {
+	analysistest.Run(t, probeAnalyzer, "./testdata/src/ptr")
+}
+
+// TestDeterminism solves the corpus twice from independent loads and
+// requires identical rendered solutions; TestCollapse requires the cycle
+// collapser to actually fire on the corpus's recursive constraints.
+func TestDeterminism(t *testing.T) {
+	a, statsA := solveCorpus(t)
+	b, statsB := solveCorpus(t)
+	if a != b {
+		t.Fatalf("solutions differ between runs:\n%s\n----\n%s", a, b)
+	}
+	if statsA != statsB {
+		t.Fatalf("stats differ between runs: %+v vs %+v", statsA, statsB)
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	_, stats := solveCorpus(t)
+	if stats.Collapsed == 0 {
+		t.Fatal("expected the cycle collapser to merge at least one SCC on the recursive corpus")
+	}
+	if stats.Objects == 0 || stats.Copies == 0 {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+}
+
+func solveCorpus(t *testing.T) (string, pointsto.Stats) {
+	t.Helper()
+	pkgs, err := analysis.Load("./testdata/src/ptr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := analysis.NewProgram(pkgs)
+	res := pointsto.Of(prog)
+	var sb strings.Builder
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "probe" || len(call.Args) != 1 {
+					return true
+				}
+				pos := prog.Fset.Position(call.Pos())
+				sb.WriteString(pos.String() + " [" + render(res.ExprObjects(call.Args[0])) + "]\n")
+				return true
+			})
+		}
+	}
+	return sb.String(), res.Stats
+}

@@ -1,0 +1,273 @@
+package sharestate
+
+// Ownership inference: the points-to upgrade that turns the gate from
+// annotation-trust into annotation-check.
+//
+// A //burstmem:chanlocal annotation on a type claims every object of that
+// type is confined to one channel shard. The solver audits the claim by
+// reachability over the points-to object graph: an object is cross-shard
+// when a path from cross-shard roots — package-level variables (every
+// shard sees them) and objects of //burstmem:shared types (cross-shard by
+// declaration) — reaches it. Two edge shapes legitimately hand a
+// chanlocal object to shard-crossing context and are exempt:
+//
+//   - a container element edge ("$elem"): a slice/array/map of chanlocal
+//     objects under a shared owner is the shard-partition idiom itself
+//     (Controller.channels holding one *Channel per shard);
+//   - a field that is itself annotated //burstmem:chanlocal: a chanlocal
+//     slot inside a shared type (the memctrl.Access pattern) declares
+//     "this slot belongs to whichever shard owns the value".
+//
+// Any other path — a bare scalar field of a shared-reachable object, a
+// package variable pointing straight at a chanlocal object — falsifies
+// the annotation, and the gate reports the full alias chain from root to
+// object. Traversal stops at chanlocal-typed objects, so a shard's
+// internal object graph is never itself treated as shared context.
+//
+// The same reachability classifies unannotated state: a written target
+// whose objects are shared-reachable gets //burstmem:shared suggested,
+// anything else //burstmem:chanlocal — so missing-annotation diagnostics
+// now say which annotation the solver believes is true.
+
+import (
+	"sort"
+	"strings"
+
+	"burstmem/internal/analysis"
+	"burstmem/internal/analysis/pointsto"
+)
+
+// inference is the reachability classification of one program.
+type inference struct {
+	res *pointsto.Result
+	own *ownership
+
+	// sharedTypes records the in-scope type keys with shared-reachable
+	// objects, for annotation suggestions on unannotated targets.
+	sharedTypes map[string]bool
+
+	// violations are chanlocal-typed objects proven cross-shard-reachable.
+	violations []violation
+
+	chain   map[pointsto.ObjID]*step
+	visited map[pointsto.ObjID]bool
+}
+
+// step is one BFS tree edge, for rendering alias chains.
+type step struct {
+	from  pointsto.ObjID // -1 when the parent is a root
+	label string         // rendered hop: "dram.Registry.cur", "var dram.hot"
+}
+
+// violation is one falsified chanlocal claim.
+type violation struct {
+	typeKey string   // the chanlocal-annotated type
+	chain   []string // alias chain from a cross-shard root to the object
+}
+
+// infer runs the reachability classification.
+func infer(prog *analysis.Program, own *ownership) *inference {
+	in := &inference{
+		res:         pointsto.Of(prog),
+		own:         own,
+		sharedTypes: map[string]bool{},
+		chain:       map[pointsto.ObjID]*step{},
+		visited:     map[pointsto.ObjID]bool{},
+	}
+	in.run()
+	return in
+}
+
+func (in *inference) run() {
+	var queue []pointsto.ObjID
+
+	enter := func(o *pointsto.Object, s *step) {
+		if in.visited[o.ID] {
+			return
+		}
+		in.visited[o.ID] = true
+		in.chain[o.ID] = s
+		if o.TypeKey != "" && in.own.inScopeTarget(o.TypeKey) {
+			in.sharedTypes[o.TypeKey] = true
+		}
+		queue = append(queue, o.ID)
+	}
+
+	// Roots: package-level variables (their identity objects and
+	// pointees) ...
+	for _, v := range in.res.GlobalRoots() {
+		label := "var " + short(v.Pkg().Path()+"."+v.Name())
+		for _, o := range in.res.PointsTo(v) {
+			in.edge(o, &step{from: -1, label: label}, "", enter)
+		}
+	}
+	// ... and every object of a //burstmem:shared type, reachable or not:
+	// shared is a cross-shard claim by declaration.
+	for _, o := range in.res.Objects {
+		if in.kindOf(o.TypeKey) == shared {
+			enter(o, &step{from: -1, label: short(o.TypeKey)})
+		}
+	}
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		obj := in.res.Objects[id]
+		for _, path := range in.res.Fields(obj) {
+			// Dotted paths mirror a sub-object's own single-segment
+			// edges; traversing both would double every hop.
+			if strings.Contains(path, ".") {
+				continue
+			}
+			label := in.edgeLabel(obj, path)
+			fieldKey := ""
+			if obj.TypeKey != "" && !strings.HasPrefix(path, "$") {
+				fieldKey = obj.TypeKey + "." + path
+			}
+			for _, o2 := range in.res.FieldPointees(obj, path) {
+				in.fieldEdge(obj, o2, path, fieldKey, label, enter)
+			}
+		}
+	}
+}
+
+// fieldEdge classifies one traversal hop from shared-reachable context.
+func (in *inference) fieldEdge(from, to *pointsto.Object, path, fieldKey, label string, enter func(*pointsto.Object, *step)) {
+	if to.Kind == pointsto.KindExternal {
+		return
+	}
+	s := &step{from: from.ID, label: label}
+	if in.kindOf(to.TypeKey) == chanlocal {
+		// Boundary: entering a shard's claimed-private object graph.
+		switch {
+		case path == "$elem":
+			// Partition container — the legitimate way shards hang off
+			// shared owners.
+		case fieldKey != "" && in.fieldKind(fieldKey) == chanlocal:
+			// Delegated slot inside a shared type.
+		default:
+			in.violations = append(in.violations, violation{
+				typeKey: to.TypeKey,
+				chain:   in.renderChain(s),
+			})
+		}
+		return
+	}
+	in.edge(to, s, path, enter)
+}
+
+// edge enters an ordinary (non-boundary) object, respecting the chanlocal
+// stop rule for root seeding too.
+func (in *inference) edge(o *pointsto.Object, s *step, path string, enter func(*pointsto.Object, *step)) {
+	if o.Kind == pointsto.KindExternal {
+		return
+	}
+	if in.kindOf(o.TypeKey) == chanlocal {
+		// A root pointing straight at a chanlocal object: only package
+		// variables do this (shared-type roots go through fieldEdge),
+		// and a package variable seeing a shard's private state is never
+		// legitimate.
+		if path == "" {
+			in.violations = append(in.violations, violation{
+				typeKey: o.TypeKey,
+				chain:   in.renderChain(s),
+			})
+		}
+		return
+	}
+	enter(o, s)
+}
+
+// kindOf returns the type-level annotation of a type key (0 when none).
+func (in *inference) kindOf(typeKey string) annotKind {
+	if typeKey == "" {
+		return 0
+	}
+	if a, ok := in.own.ann[typeKey]; ok && in.own.typeKeys[typeKey] {
+		return a.kind
+	}
+	return 0
+}
+
+// fieldKind returns the field-level annotation of "pkg.Type.field".
+func (in *inference) fieldKind(fieldKey string) annotKind {
+	if a, ok := in.own.ann[fieldKey]; ok {
+		return a.kind
+	}
+	return 0
+}
+
+// edgeLabel renders one hop for alias chains.
+func (in *inference) edgeLabel(obj *pointsto.Object, path string) string {
+	owner := obj.TypeKey
+	if owner == "" {
+		owner = obj.String()
+	}
+	owner = short(owner)
+	if path == "$elem" {
+		return owner + "[…]"
+	}
+	if path == "$val" {
+		return "*" + owner
+	}
+	return owner + "." + path
+}
+
+// renderChain walks BFS parent steps back to a root, outermost first.
+func (in *inference) renderChain(last *step) []string {
+	var rev []string
+	for s := last; s != nil; {
+		rev = append(rev, s.label)
+		if s.from < 0 {
+			break
+		}
+		s = in.chain[s.from]
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// suggest returns the annotation the inference believes fits an
+// unannotated written target.
+func (in *inference) suggest(target string) string {
+	if in.own.isVar(target) {
+		return sharedDirective + " <reason>"
+	}
+	typeKey := target
+	if i := strings.LastIndexByte(target, '.'); i >= 0 && in.own.typeKeys[target[:i]] {
+		typeKey = target[:i]
+	}
+	if in.sharedTypes[typeKey] {
+		return sharedDirective + " <reason>"
+	}
+	return chanlocalDirective
+}
+
+// report emits one diagnostic per falsified chanlocal type, at the
+// annotated declaration, with the shortest alias chain as evidence.
+func (in *inference) report(pass *analysis.ProgramPass) {
+	byType := map[string]violation{}
+	for _, v := range in.violations {
+		if prev, ok := byType[v.typeKey]; !ok || len(v.chain) < len(prev.chain) {
+			byType[v.typeKey] = v
+		}
+	}
+	keys := make([]string, 0, len(byType))
+	for k := range byType {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := byType[k]
+		pos := in.own.ann[k].pos
+		if dp, ok := in.own.decl[k]; ok {
+			pos = dp
+		}
+		pass.ReportChainf(pos, v.chain,
+			"%s is annotated //burstmem:chanlocal but the points-to solver proves it cross-shard-reachable via %s: move the reference behind a per-shard container, annotate the referencing field //burstmem:chanlocal, or mark the type //burstmem:shared <reason>",
+			short(k), strings.Join(v.chain, " -> "))
+	}
+}

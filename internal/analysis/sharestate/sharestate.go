@@ -23,13 +23,21 @@
 // The gate is interprocedural: effect summaries
 // (internal/analysis/summary) over the CHA call graph give the transitive
 // write set of each hot-path entry, so state mutated five calls deep in
-// another package is held to the same standard as a direct store. Three
-// things are reported:
+// another package is held to the same standard as a direct store. And
+// since PR 10 it is annotation-CHECKING, not annotation-trusting: the
+// points-to solver (internal/analysis/pointsto) audits every chanlocal
+// claim by reachability over the abstract object graph — see infer.go for
+// the root set and the two exempt edge shapes (partition containers,
+// delegated chanlocal slots). Four things are reported:
 //
 //   - a written field/variable in scope with no annotation (at its
-//     declaration, naming one reaching entry point);
+//     declaration, naming one reaching entry point and the annotation the
+//     inference suggests);
 //   - an annotation that cannot be honoured (shared without a reason,
 //     chanlocal on a package variable);
+//   - a //burstmem:chanlocal type the solver proves cross-shard-reachable
+//     — a stale or wrong claim — with the alias chain from a cross-shard
+//     root as the diagnostic;
 //   - an unresolved dynamic call reached from a hot-path entry: a call
 //     through a function value defeats the whole analysis, so the hot path
 //     refuses them (resolve it, or suppress with //lint:ignore sharestate
@@ -68,7 +76,7 @@ const (
 var scoped = []string{
 	"internal/dram", "internal/memctrl", "internal/core",
 	"internal/sched", "internal/sim", "internal/trace",
-	"internal/parsim",
+	"internal/parsim", "internal/cpu",
 }
 
 func inScope(path string) bool {
@@ -113,6 +121,12 @@ func run(pass *analysis.ProgramPass) {
 	// claim is wrong even before anything writes through it.
 	validate(pass, own)
 
+	// Inference audits the surviving claims against the points-to
+	// solution and classifies unannotated state for the suggestions
+	// below.
+	inf := infer(pass.Prog, own)
+	inf.report(pass)
+
 	type reach struct {
 		key   summary.Key
 		entry *callgraph.Func
@@ -155,8 +169,8 @@ func run(pass *analysis.ProgramPass) {
 		if !ok {
 			pos = r.entry.Pos()
 		}
-		pass.Reportf(pos, "%s is written from hot-path entry %s%s but has no ownership annotation: mark it //burstmem:chanlocal or //burstmem:shared <reason>",
-			short(t), r.entry.Name, via(set, r.entry.ID, r.key))
+		pass.Reportf(pos, "%s is written from hot-path entry %s%s but has no ownership annotation: inference suggests %s",
+			short(t), r.entry.Name, via(set, r.entry.ID, r.key), inf.suggest(t))
 	}
 
 	dynPos := make([]token.Pos, 0, len(dynamic))

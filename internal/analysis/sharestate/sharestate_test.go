@@ -10,3 +10,11 @@ import (
 func TestSharestate(t *testing.T) {
 	analysistest.Run(t, sharestate.Analyzer, "./testdata/src/internal/dram")
 }
+
+// TestStaleAnnotations exercises inference mode: chanlocal claims the
+// points-to solver falsifies (reported with the alias chain), the exempt
+// aliasing shapes (partition containers, delegated slots), and inline
+// suppression of an acknowledged violation.
+func TestStaleAnnotations(t *testing.T) {
+	analysistest.Run(t, sharestate.Analyzer, "./testdata/src/stale/internal/dram")
+}

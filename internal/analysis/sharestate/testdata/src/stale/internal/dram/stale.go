@@ -1,0 +1,78 @@
+// Package dram is the stale-annotation corpus: chanlocal claims the
+// points-to solver must falsify (with the alias chain as evidence), next
+// to the aliasing shapes that are legitimately exempt.
+package dram
+
+// Registry is deliberately shared; its chans slice is the legitimate
+// partition idiom, its cur field is a cross-shard alias.
+//
+//burstmem:shared registry of every shard, read under the barrier
+type Registry struct {
+	chans []*Channel
+	cur   *Channel
+	//burstmem:chanlocal
+	scratch *Stats
+}
+
+// Channel claims shard confinement, but Registry.cur aliases it across
+// shards — the claim is stale.
+//
+//burstmem:chanlocal
+type Channel struct { // want `Channel is annotated //burstmem:chanlocal but the points-to solver proves it cross-shard-reachable via dram\.Registry -> dram\.Registry\.cur`
+	cycle uint64
+}
+
+// Stats is cross-shard only through the delegated scratch slot and the
+// partition container below — both exempt, so the claim survives.
+//
+//burstmem:chanlocal
+type Stats struct {
+	hits uint64
+}
+
+// Local is aliased by a package variable — nothing is more cross-shard
+// than that.
+//
+//burstmem:chanlocal
+type Local struct { // want `Local is annotated //burstmem:chanlocal but the points-to solver proves it cross-shard-reachable via var dram\.hot`
+	n uint64
+}
+
+var hot *Local
+
+var perShard = make([]*Stats, 0)
+
+func setup() {
+	r := &Registry{chans: make([]*Channel, 0, 4)}
+	c := &Channel{}
+	s := &Stats{}
+	wire(r, c, s)
+	keep(&Local{})
+	retain(&Suppressed{})
+}
+
+func wire(r *Registry, c *Channel, s *Stats) {
+	r.chans = append(r.chans, c)
+	r.cur = c
+	r.scratch = s
+	perShard = append(perShard, s)
+}
+
+func keep(l *Local) {
+	hot = l
+}
+
+// Suppressed is cross-shard the same way Local is, but the report is
+// acknowledged inline.
+//
+//burstmem:chanlocal
+//lint:ignore sharestate transitional alias audited by hand
+type Suppressed struct {
+	n uint64
+}
+
+var held *Suppressed
+
+func retain(s *Suppressed) {
+	held = s
+}

@@ -69,6 +69,9 @@ const (
 	// DynamicCall: a call through a function value the call graph cannot
 	// resolve.
 	DynamicCall
+	// ProcExit: os.Exit or a fatal logger is reached — the process may
+	// terminate without running the pending defers of calling frames.
+	ProcExit
 )
 
 func (k Kind) String() string {
@@ -89,6 +92,8 @@ func (k Kind) String() string {
 		return "goroutine spawn"
 	case DynamicCall:
 		return "unresolved dynamic call"
+	case ProcExit:
+		return "process exit"
 	}
 	return "?"
 }
@@ -242,6 +247,8 @@ func externalEffect(id callgraph.ID) (Kind, bool) {
 	switch id {
 	case "time.Now", "time.Since", "time.Until":
 		return WallClock, true
+	case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return ProcExit, true
 	}
 	s := string(id)
 	if strings.HasPrefix(s, "math/rand.") || strings.HasPrefix(s, "math/rand/v2.") {

@@ -64,6 +64,8 @@ func (c Config) Validate() error {
 }
 
 // Stats reports execution statistics.
+//
+//burstmem:chanlocal
 type Stats struct {
 	Cycles  uint64
 	Retired uint64
@@ -85,6 +87,8 @@ func (s Stats) IPC() float64 {
 }
 
 // robEntry is one in-flight instruction.
+//
+//burstmem:chanlocal
 type robEntry struct {
 	typ     workload.OpType
 	addr    uint64
@@ -100,6 +104,9 @@ type robEntry struct {
 	depSeq uint64
 }
 
+// storeSlot is one store-buffer entry.
+//
+//burstmem:chanlocal
 type storeSlot struct {
 	addr    uint64
 	waiting bool // store missed; line fill in flight
@@ -121,7 +128,12 @@ const (
 // only an external cache callback can change the CPU's state.
 const NoEvent = ^uint64(0)
 
-// CPU is the core model.
+// CPU is the core model. One CPU belongs to one core, ticked only by its
+// shard's coordinator, so its whole object graph is channel-local — the
+// points-to audit (internal/analysis/sharestate) holds this annotation to
+// that claim.
+//
+//burstmem:chanlocal
 type CPU struct {
 	cfg Config
 	gen workload.Generator

@@ -66,6 +66,8 @@ type Pool struct {
 
 // workerSlot is one spawned worker's synchronization state, padded so the
 // done stamps the caller spins on do not false-share one cache line.
+//
+//burstmem:shared one slot per spawned worker: done/parked cross goroutines through sync/atomic, wake is a buffered handoff channel
 type workerSlot struct {
 	done   atomic.Uint64 // last generation this worker completed
 	parked atomic.Bool   // set by the worker just before blocking on wake

@@ -30,7 +30,7 @@ func Start(cpuPath, memPath string) func() {
 		cpuFile = f
 	}
 	stopped := false
-	return func() {
+	stop := func() {
 		if stopped {
 			return
 		}
@@ -46,6 +46,22 @@ func Start(cpuPath, memPath string) func() {
 			check(pprof.WriteHeapProfile(f))
 			check(f.Close())
 		}
+	}
+	active = stop
+	return stop
+}
+
+// active is the most recent Start's stop function, for Stop.
+var active func()
+
+// Stop finalizes any profiling started by Start. It is the early-exit
+// companion to the deferred stop: deferred calls do not run across
+// os.Exit, so a fatal-error path that just called os.Exit would truncate
+// the CPU profile mid-write. Error helpers call Stop before exiting.
+// Idempotent, and a no-op when Start never ran.
+func Stop() {
+	if active != nil {
+		active()
 	}
 }
 

@@ -14,9 +14,11 @@
 # here means a per-cycle allocation crept in).
 #
 # Full runs also record burstlint's wall time over ./... as a "burstlint"
-# entry: the seven analyzers build per-function CFGs and run worklist
-# solvers, and this keeps their cost on the same trajectory chart as the
-# simulator itself.
+# entry (with the shared call-graph/summary build as "burstlint_interproc"
+# and the Andersen points-to solve as "burstlint_pointsto"): the analyzers
+# build per-function CFGs, run worklist solvers, and solve whole-program
+# constraint systems, and this keeps their cost on the same trajectory
+# chart as the simulator itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,10 +46,12 @@ echo "$QRAW"
 
 # Wall time of the full static-analysis suite (build of burstlint itself
 # excluded: compile first, then time the lint run). -timing reports how
-# long the shared interprocedural build — CHA call graph plus effect
-# summaries, computed once and cached across the three whole-program
-# analyzers — took inside that total; it lands as its own entry so the
-# interprocedural tier's cost is tracked separately from load/typecheck.
+# long the shared interprocedural builds — the CHA call graph plus effect
+# summaries ("burstlint_interproc") and the Andersen points-to solution
+# ("burstlint_pointsto"), each computed once and cached across the
+# whole-program analyzers — took inside that total; they land as their own
+# entries so the interprocedural tier's cost is tracked separately from
+# load/typecheck and the points-to solver's cost separately from both.
 go build -o /tmp/burstlint.$$ ./cmd/burstlint
 LINT_NS_START=$(date +%s%N)
 LINT_TIMING=$(/tmp/burstlint.$$ -timing ./... 2>&1 >/dev/null)
@@ -55,9 +59,10 @@ LINT_NS_END=$(date +%s%N)
 rm -f /tmp/burstlint.$$
 LINT_MS=$(( (LINT_NS_END - LINT_NS_START) / 1000000 ))
 INTERPROC_MS=$(echo "$LINT_TIMING" | awk '/^timing (callgraph|summary) /{ms += $3} END {print ms + 0}')
-echo "burstlint ./...: ${LINT_MS} ms (interprocedural build: ${INTERPROC_MS} ms)"
+POINTSTO_MS=$(echo "$LINT_TIMING" | awk '/^timing pointsto /{ms += $3} END {print ms + 0}')
+echo "burstlint ./...: ${LINT_MS} ms (interprocedural build: ${INTERPROC_MS} ms, points-to solve: ${POINTSTO_MS} ms)"
 
-{ echo "$RAW"; echo "$QRAW"; } | awk -v lint_ms="$LINT_MS" -v interproc_ms="$INTERPROC_MS" '
+{ echo "$RAW"; echo "$QRAW"; } | awk -v lint_ms="$LINT_MS" -v interproc_ms="$INTERPROC_MS" -v pointsto_ms="$POINTSTO_MS" '
 BEGIN { print "["; first = 1 }
 /^BenchmarkEventQueue|^BenchmarkEventWheel/ {
     name = $1
@@ -124,7 +129,8 @@ END {
     }
     if (!first) print ","
     printf "  {\"case\": \"burstlint\", \"wall_ms\": %s},\n", lint_ms
-    printf "  {\"case\": \"burstlint_interproc\", \"wall_ms\": %s}\n", interproc_ms
+    printf "  {\"case\": \"burstlint_interproc\", \"wall_ms\": %s},\n", interproc_ms
+    printf "  {\"case\": \"burstlint_pointsto\", \"wall_ms\": %s}\n", pointsto_ms
     print "]"
 }
 ' > "$OUT"

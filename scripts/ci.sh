@@ -23,6 +23,14 @@ go test -count=1 \
     ./internal/analysis/sharestate/ ./internal/analysis/detflow/ \
     ./internal/analysis/goroutcheck/
 
+echo "== pointsto tier (Andersen solver, ownership audit, concurrency-hygiene analyzers) =="
+# The points-to solution backs sharestate's annotation audit and the
+# leakcheck/ctxflow/chanflow analyzers; this stage runs the solver's own
+# probe corpus plus each analyzer's analysistest corpus.
+go test -count=1 \
+    ./internal/analysis/pointsto/ ./internal/analysis/leakcheck/ \
+    ./internal/analysis/ctxflow/ ./internal/analysis/chanflow/
+
 echo "== burstlint golden (CLI output/exit-code contract) =="
 go test -count=1 -run 'TestGolden|TestExitCode' ./cmd/burstlint/
 

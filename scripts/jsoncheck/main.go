@@ -7,7 +7,10 @@
 //
 // With -bench the file is instead checked against the BENCH_sim.json
 // shape: a non-empty JSON array of objects, each carrying a non-empty
-// "case" string (the key every consumer joins on).
+// "case" string (the key every consumer joins on). Files that record lint
+// timings (a "burstlint" entry is present) must carry the full family —
+// burstlint, burstlint_interproc, burstlint_pointsto — each with a
+// numeric wall_ms.
 //
 //	go run ./scripts/jsoncheck trace.json
 //	go run ./scripts/jsoncheck -bench BENCH_sim.json
@@ -68,9 +71,27 @@ func checkBench(path string, data []byte) {
 	if len(entries) == 0 {
 		fatal(fmt.Errorf("%s: empty benchmark entry array", path))
 	}
+	cases := map[string]map[string]any{}
 	for i, e := range entries {
-		if name, _ := e["case"].(string); name == "" {
+		name, _ := e["case"].(string)
+		if name == "" {
 			fatal(fmt.Errorf("%s: entry %d missing case", path, i))
+		}
+		cases[name] = e
+	}
+	// Files carrying lint timings (full bench.sh output, as opposed to the
+	// one-entry CI perf gate) must carry the whole family, each with a
+	// numeric wall_ms: a bench.sh edit that drops one silently would
+	// otherwise erase its trajectory.
+	if _, ok := cases["burstlint"]; ok {
+		for _, name := range []string{"burstlint", "burstlint_interproc", "burstlint_pointsto"} {
+			e, ok := cases[name]
+			if !ok {
+				fatal(fmt.Errorf("%s: %q entry present but %q missing", path, "burstlint", name))
+			}
+			if _, ok := e["wall_ms"].(float64); !ok {
+				fatal(fmt.Errorf("%s: %q entry has no numeric wall_ms", path, name))
+			}
 		}
 	}
 	fmt.Printf("%s: %d benchmark entries OK\n", path, len(entries))
